@@ -1,0 +1,252 @@
+// Benchmarks regenerating every figure of the paper's evaluation at reduced
+// scale (one bench per table/figure; see DESIGN.md §3 for the experiment
+// index), plus micro-benchmarks of the hot paths. Run the full paper-scale
+// reproduction with cmd/cocasim instead; these exist to keep the
+// regeneration code exercised and to track performance.
+package coca
+
+import (
+	"testing"
+
+	"repro/internal/batch"
+	"repro/internal/dcmodel"
+	"repro/internal/experiments"
+	"repro/internal/gsd"
+	"repro/internal/loadbalance"
+	"repro/internal/lyapunov"
+	"repro/internal/p3"
+	"repro/internal/queueing"
+	"repro/internal/sim"
+	"repro/internal/simtest"
+)
+
+// benchConfig is the reduced scale used by the figure benches: a 4-week
+// horizon over a 1,000-server fleet.
+func benchConfig() experiments.Config {
+	return experiments.Config{Slots: 4 * 7 * 24, N: 1000, Seed: 2012}
+}
+
+func BenchmarkFig1Traces(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig1(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig2ImpactOfV(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig2(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig3VsPerfectHP(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig3(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig4GSD(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig4(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig5Sensitivity(b *testing.B) {
+	cfg := benchConfig()
+	cfg.Slots = 2 * 7 * 24
+	cfg.N = 500
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig5(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGSD500Iters200Groups measures the paper's §5.2.3 claim: 500 GSD
+// iterations with 200 groups of servers complete in under one second.
+func BenchmarkGSD500Iters200Groups(b *testing.B) {
+	cluster := dcmodel.PaperCluster(200)
+	prob := &dcmodel.SlotProblem{
+		Cluster:   cluster,
+		LambdaRPS: 0.3 * cluster.MaxCapacityRPS(),
+		We:        0.05,
+		Wd:        0.02,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := gsd.Solve(prob, gsd.Options{Delta: 1e8, MaxIters: 500, Seed: uint64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDistributedGSD(b *testing.B) {
+	cluster := dcmodel.HeterogeneousCluster(240, 12)
+	prob := &dcmodel.SlotProblem{
+		Cluster:   cluster,
+		LambdaRPS: 0.3 * cluster.MaxCapacityRPS(),
+		We:        0.05,
+		Wd:        0.02,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := gsd.SolveDistributed(prob, gsd.Options{Delta: 1e6, MaxIters: 100, Seed: uint64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkYearCOCA measures one full simulated year of COCA decisions at
+// the paper's 216,000-server scale.
+func BenchmarkYearCOCA(b *testing.B) {
+	sc, _, err := simtest.Build(simtest.Options{Slots: 8760, N: 216000, Beta: 0.02, Seed: 2012})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p, err := NewCOCA(COCAFromScenario(sc, ConstantV(2e8, 1, sc.Slots)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := sim.Run(sc, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHomogeneousP3Solve(b *testing.B) {
+	hp := &p3.HomogeneousProblem{
+		Type: dcmodel.Opteron(), N: 216000, Gamma: 0.95, PUE: 1,
+		LambdaRPS: 6e5, We: 0.07, Wd: 0.02, OnsiteKW: 3000,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := hp.Solve(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLoadBalanceSolve200Groups(b *testing.B) {
+	cluster := dcmodel.PaperCluster(200)
+	speeds := make([]int, 200)
+	for i := range speeds {
+		speeds[i] = 1 + i%4
+	}
+	prob := &dcmodel.SlotProblem{
+		Cluster:   cluster,
+		LambdaRPS: 4e5,
+		We:        0.07, Wd: 0.02, OnsiteKW: 2000,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := loadbalance.Solve(prob, speeds); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDeficitQueueUpdate(b *testing.B) {
+	q := lyapunov.NewDeficitQueue(1, 100)
+	for i := 0; i < b.N; i++ {
+		q.Update(float64(i%1000), float64(i%700))
+	}
+}
+
+func BenchmarkMG1PSQueue(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, err := queueing.Simulate(queueing.Config{
+			ArrivalRPS: 7, ServiceRPS: 10,
+			Service: queueing.ExponentialService(1),
+			Horizon: 2000, Warmup: 100, Seed: uint64(i),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Extension-study benches (see DESIGN.md §3 and EXPERIMENTS.md "beyond the
+// paper" section).
+
+func BenchmarkCappingStudy(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Capping(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLookaheadSweep(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := experiments.LookaheadSweep(cfg, []int{24, 168}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTariffStudy(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.TariffStudy(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGreenBatch(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.GreenBatch(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFrameResetAblation(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.FrameResetAblation(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBatchSchedulerStep(b *testing.B) {
+	srv := dcmodel.Opteron()
+	sched := batchNewLoaded(5000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if sched.Slot() >= 5000 {
+			b.StopTimer()
+			sched = batchNewLoaded(5000)
+			b.StartTimer()
+		}
+		sched.Step(3, srv)
+	}
+}
+
+// batchNewLoaded builds a scheduler preloaded with a long job stream.
+func batchNewLoaded(slots int) *batch.Scheduler {
+	s := batch.NewScheduler()
+	for _, j := range batch.Workload(1, slots, 2, 1, 2, 12) {
+		if err := s.Submit(j); err != nil {
+			panic(err)
+		}
+	}
+	return s
+}

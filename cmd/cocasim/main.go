@@ -1,0 +1,186 @@
+// Command cocasim regenerates the paper's evaluation figures (see
+// DESIGN.md §3 for the experiment index and EXPERIMENTS.md for measured
+// results).
+//
+// Usage:
+//
+//	cocasim -exp all                 # every figure at paper scale (~minutes)
+//	cocasim -exp fig2 -n 2000        # one figure at reduced fleet scale
+//	cocasim -exp fig3 -slots 2016    # twelve weeks instead of a year
+//
+// Experiments: fig1 (workload traces), fig2 (impact of V), fig3 (COCA vs
+// PerfectHP), fig4 (GSD execution), fig5 (sensitivity studies), mix
+// (off-site/REC portfolio mix study), capping (§2.2 energy-cap variant),
+// lookahead (P2 window sweep + Theorem 2 bounds), reset (frame-reset
+// ablation), tariff (§2.1 nonlinear pricing), batch (green batch
+// scheduling on spare capacity), predict (PerfectHP under imperfect
+// forecasts), delay (Eq. 4 vs the event-driven M/G/1/PS simulator), geo
+// (multi-site geographic load balancing).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/report"
+)
+
+func main() {
+	var (
+		exp    = flag.String("exp", "all", "experiment: fig1|fig2|fig3|fig4|fig5|mix|capping|lookahead|reset|tariff|batch|predict|delay|geo|all")
+		slots  = flag.Int("slots", 0, "horizon in hours (default: 8760, one year)")
+		n      = flag.Int("n", 0, "fleet size (default: 216000, the paper's deployment)")
+		beta   = flag.Float64("beta", 0, "delay weight β (default: 0.02)")
+		budget = flag.Float64("budget", 0, "carbon budget as fraction of unaware usage (default: 0.92)")
+		seed   = flag.Uint64("seed", 0, "master seed (default: 2012)")
+		csvDir = flag.String("csvdir", "", "write figure data as CSV files into this directory (fig2/fig3 series)")
+	)
+	flag.Parse()
+
+	cfg := experiments.Config{
+		Slots:  *slots,
+		N:      *n,
+		Beta:   *beta,
+		Budget: *budget,
+		Seed:   *seed,
+		Out:    os.Stdout,
+	}
+
+	runners := map[string]func() error{
+		"fig1": func() error { _, err := experiments.Fig1(cfg); return err },
+		"fig2": func() error {
+			res, err := experiments.Fig2(cfg)
+			if err != nil {
+				return err
+			}
+			return writeFig2CSV(*csvDir, res)
+		},
+		"fig3": func() error {
+			res, err := experiments.Fig3(cfg)
+			if err != nil {
+				return err
+			}
+			return writeFig3CSV(*csvDir, res)
+		},
+		"fig4": func() error { _, err := experiments.Fig4(cfg); return err },
+		"fig5": func() error { _, err := experiments.Fig5(cfg); return err },
+		"mix": func() error {
+			shares, costs, err := experiments.PortfolioMixStudy(cfg)
+			if err != nil {
+				return err
+			}
+			fmt.Println("== Portfolio mix study (§5.2.4): off-site share vs normalized cost ==")
+			for i := range shares {
+				fmt.Printf("  offsite %.0f%% / RECs %.0f%%: %.4f\n",
+					shares[i]*100, (1-shares[i])*100, costs[i])
+			}
+			return nil
+		},
+		"geo":       func() error { _, err := experiments.GeoStudy(cfg); return err },
+		"predict":   func() error { _, _, err := experiments.PredictionErrorStudy(cfg); return err },
+		"delay":     func() error { _, _, err := experiments.DelayValidation(cfg, 12); return err },
+		"capping":   func() error { _, err := experiments.Capping(cfg); return err },
+		"lookahead": func() error { _, _, err := experiments.LookaheadSweep(cfg, nil); return err },
+		"reset":     func() error { _, err := experiments.FrameResetAblation(cfg); return err },
+		"tariff":    func() error { _, err := experiments.TariffStudy(cfg); return err },
+		"batch":     func() error { _, err := experiments.GreenBatch(cfg); return err },
+	}
+	order := []string{
+		"fig1", "fig2", "fig3", "fig4", "fig5", "mix",
+		"capping", "lookahead", "reset", "tariff", "batch",
+		"predict", "delay", "geo",
+	}
+
+	var selected []string
+	if *exp == "all" {
+		selected = order
+	} else {
+		for _, name := range strings.Split(*exp, ",") {
+			name = strings.TrimSpace(name)
+			if _, ok := runners[name]; !ok {
+				fmt.Fprintf(os.Stderr, "unknown experiment %q (choose from %s)\n",
+					name, strings.Join(order, ", "))
+				os.Exit(2)
+			}
+			selected = append(selected, name)
+		}
+	}
+
+	for _, name := range selected {
+		fmt.Printf("\n################ %s ################\n", name)
+		start := time.Now()
+		if err := runners[name](); err != nil {
+			fmt.Fprintf(os.Stderr, "%s failed: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("[%s completed in %v]\n", name, time.Since(start).Round(time.Millisecond))
+	}
+}
+
+// writeFig2CSV exports the Fig. 2 sweep and the varying-V moving averages.
+func writeFig2CSV(dir string, res experiments.Fig2Result) error {
+	if dir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	sweep, err := os.Create(filepath.Join(dir, "fig2_sweep.csv"))
+	if err != nil {
+		return err
+	}
+	defer sweep.Close()
+	t := report.NewTable("", "V", "avg_hourly_cost_usd", "avg_hourly_deficit_kwh", "grid_over_budget")
+	for _, p := range res.Sweep {
+		t.AddRow(p.V, p.AvgCostUSD, p.AvgDeficitKWh, p.BudgetUsed)
+	}
+	if err := t.WriteCSV(sweep); err != nil {
+		return err
+	}
+	if len(res.MovingAvgCost) == 0 {
+		return nil
+	}
+	series, err := os.Create(filepath.Join(dir, "fig2_varying_v.csv"))
+	if err != nil {
+		return err
+	}
+	defer series.Close()
+	idx := make([]float64, len(res.MovingAvgCost))
+	for i := range idx {
+		idx[i] = float64(i)
+	}
+	return report.SeriesCSV(series, idx, "hour", map[string][]float64{
+		"moving_avg_cost_usd":    res.MovingAvgCost,
+		"moving_avg_deficit_kwh": res.MovingAvgDeficit,
+	}, []string{"moving_avg_cost_usd", "moving_avg_deficit_kwh"})
+}
+
+// writeFig3CSV exports the Fig. 3 running averages.
+func writeFig3CSV(dir string, res experiments.Fig3Result) error {
+	if dir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, "fig3_running_averages.csv"))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	idx := make([]float64, len(res.RunningCostCoca))
+	for i := range idx {
+		idx[i] = float64(i)
+	}
+	return report.SeriesCSV(f, idx, "hour", map[string][]float64{
+		"coca_cost":    res.RunningCostCoca,
+		"php_cost":     res.RunningCostPHP,
+		"coca_deficit": res.RunningDeficitCoca,
+		"php_deficit":  res.RunningDeficitPHP,
+	}, []string{"coca_cost", "php_cost", "coca_deficit", "php_deficit"})
+}

@@ -1,0 +1,120 @@
+// Command gsdrun runs the GSD distributed optimizer on one P3 instance and
+// reports its convergence, reproducing the paper's Fig. 4 snapshots on
+// demand.
+//
+// Usage:
+//
+//	gsdrun -groups 200 -iters 500                  # paper's §5.2.3 setting
+//	gsdrun -distributed -groups 24 -iters 400      # goroutine-per-group engine
+//	gsdrun -delta 1e6 -load 0.4 -hetero
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/dcmodel"
+	"repro/internal/gsd"
+	"repro/internal/report"
+)
+
+func main() {
+	var (
+		groups      = flag.Int("groups", 200, "number of server groups")
+		servers     = flag.Int("servers", 216000, "total servers")
+		loadFrac    = flag.Float64("load", 0.4, "arrival rate as a fraction of top-speed capacity")
+		delta       = flag.Float64("delta", 0, "temperature δ (0 = auto-scale to the objective)")
+		iters       = flag.Int("iters", 500, "iterations")
+		seed        = flag.Uint64("seed", 1, "seed")
+		hetero      = flag.Bool("hetero", false, "use a mixed-generation fleet")
+		distributed = flag.Bool("distributed", false, "use the goroutine-per-group message-passing engine")
+		priceKWh    = flag.Float64("price", 0.05, "electricity price $/kWh")
+		beta        = flag.Float64("beta", 0.02, "delay weight β")
+		queue       = flag.Float64("q", 0, "carbon-deficit queue length (adds to the electricity weight)")
+	)
+	flag.Parse()
+
+	var cluster *dcmodel.Cluster
+	if *hetero {
+		cluster = dcmodel.HeterogeneousCluster(*servers, *groups)
+	} else {
+		cluster = dcmodel.PaperCluster(*groups)
+		if *servers != cluster.TotalServers() {
+			per := *servers / *groups
+			if per < 1 {
+				per = 1
+			}
+			for i := range cluster.Groups {
+				cluster.Groups[i].N = per
+			}
+		}
+	}
+	prob := &dcmodel.SlotProblem{
+		Cluster:   cluster,
+		LambdaRPS: *loadFrac * cluster.MaxCapacityRPS(),
+		We:        *priceKWh + *queue,
+		Wd:        *beta,
+		OnsiteKW:  0,
+	}
+	if err := prob.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	d := *delta
+	if d == 0 {
+		// Auto-scale: δ ≈ 10·g̃², so δ·Δ(1/g̃) is O(10·Δg̃/g̃), a responsive
+		// but non-greedy acceptance.
+		probe, err := gsd.Solve(prob, gsd.Options{Delta: 1e15, MaxIters: 50, Seed: *seed})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		d = 10 * probe.Solution.Value * probe.Solution.Value
+		fmt.Printf("auto δ = %.3g\n", d)
+	}
+
+	opts := gsd.Options{Delta: d, MaxIters: *iters, Seed: *seed, RecordHistory: true}
+	start := time.Now()
+	var (
+		res gsd.Result
+		err error
+	)
+	if *distributed {
+		res, err = gsd.SolveDistributed(prob, opts)
+	} else {
+		res, err = gsd.Solve(prob, opts)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	elapsed := time.Since(start)
+
+	fmt.Printf("cluster: %d servers in %d groups; λ = %.0f req/s\n",
+		cluster.TotalServers(), len(cluster.Groups), prob.LambdaRPS)
+	fmt.Printf("%d iterations in %v (%.0f iters/s), %d accepted\n",
+		res.Iters, elapsed.Round(time.Millisecond),
+		float64(res.Iters)/elapsed.Seconds(), res.Accepted)
+	fmt.Printf("objective: %.4f (initial %.4f, improvement %.2f%%)\n",
+		res.Solution.Value, res.History[0],
+		100*(res.History[0]-res.Solution.Value)/res.History[0])
+	if err := report.Chart(os.Stdout, "incumbent objective", res.History, 72, 12); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	// Speed histogram of the final configuration.
+	counts := map[int]int{}
+	for _, k := range res.Solution.Speeds {
+		counts[k]++
+	}
+	fmt.Println("final speed distribution (groups per level):")
+	for k := 0; k <= 8; k++ {
+		if c, ok := counts[k]; ok {
+			fmt.Printf("  level %d: %d groups\n", k, c)
+		}
+	}
+}

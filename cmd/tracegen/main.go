@@ -1,0 +1,83 @@
+// Command tracegen generates and inspects the synthetic traces that drive
+// the simulation: workloads (FIU-like year, MSR-like week/year),
+// renewables (solar, wind) and electricity prices.
+//
+// Usage:
+//
+//	tracegen -trace fiu -seed 2012 -out fiu.csv
+//	tracegen -trace msr -stats
+//	tracegen -trace price -hours 168
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/price"
+	"repro/internal/renewable"
+	"repro/internal/report"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+func main() {
+	var (
+		kind  = flag.String("trace", "fiu", "trace kind: fiu|msr|msrweek|solar|wind|price")
+		seed  = flag.Uint64("seed", 2012, "generator seed")
+		out   = flag.String("out", "", "write CSV to this file (default: summary to stdout)")
+		hours = flag.Int("hours", 0, "truncate to this many hours (0 = full trace)")
+		chart = flag.Bool("chart", true, "print an ASCII chart of the trace")
+	)
+	flag.Parse()
+
+	var tr *trace.Trace
+	switch *kind {
+	case "fiu":
+		tr = trace.FIUYear(*seed)
+	case "msr":
+		tr = trace.MSRYear(*seed, 0.4)
+	case "msrweek":
+		tr = trace.MSRWeek(*seed)
+	case "solar":
+		tr = renewable.SolarYear(*seed)
+	case "wind":
+		tr = renewable.WindYear(*seed)
+	case "price":
+		tr = price.CAISOYear(*seed)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown trace kind %q\n", *kind)
+		os.Exit(2)
+	}
+	if *hours > 0 && *hours < tr.Len() {
+		tr = tr.Slice(0, *hours)
+	}
+
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := tr.WriteCSV(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %d hourly samples of %s to %s\n", tr.Len(), tr.Name, *out)
+		return
+	}
+
+	var s stats.Summary
+	s.AddAll(tr.Values)
+	fmt.Printf("trace %s: %d hours\n", tr.Name, tr.Len())
+	fmt.Printf("  mean %.4f  std %.4f  min %.4f  max %.4f  p50 %.4f  p95 %.4f\n",
+		s.Mean(), s.Std(), s.Min(), s.Max(),
+		stats.Quantile(tr.Values, 0.5), stats.Quantile(tr.Values, 0.95))
+	if *chart {
+		if err := report.Chart(os.Stdout, tr.Name, tr.Values, 72, 12); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+}

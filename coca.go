@@ -1,0 +1,313 @@
+package coca
+
+import (
+	"repro/internal/baseline"
+	"repro/internal/batch"
+	"repro/internal/core"
+	"repro/internal/dcmodel"
+	"repro/internal/experiments"
+	"repro/internal/geo"
+	"repro/internal/gsd"
+	"repro/internal/lyapunov"
+	"repro/internal/p3"
+	"repro/internal/predict"
+	"repro/internal/price"
+	"repro/internal/queueing"
+	"repro/internal/renewable"
+	"repro/internal/sim"
+	"repro/internal/simtest"
+	"repro/internal/trace"
+)
+
+// Data-center model (paper §2).
+type (
+	// ServerType is a server model with discrete DVFS speed levels.
+	ServerType = dcmodel.ServerType
+	// SpeedLevel is one DVFS operating point.
+	SpeedLevel = dcmodel.SpeedLevel
+	// Group is a batch of identical servers sharing one speed decision.
+	Group = dcmodel.Group
+	// Cluster is a data center: groups plus the γ utilization cap and PUE.
+	Cluster = dcmodel.Cluster
+	// SlotProblem is the per-slot optimization P3 in weight form.
+	SlotProblem = dcmodel.SlotProblem
+	// Solution is a solved slot configuration.
+	Solution = dcmodel.Solution
+	// CostParams prices a configuration (w(t), r(t), β).
+	CostParams = dcmodel.CostParams
+	// CostBreakdown decomposes a slot's cost.
+	CostBreakdown = dcmodel.CostBreakdown
+	// Tariff generalizes the electricity cost to convex nonlinear pricing
+	// (§2.1 extension).
+	Tariff = dcmodel.Tariff
+	// FlatTariff is the paper's default linear tariff.
+	FlatTariff = dcmodel.FlatTariff
+	// Tier is one block of an inclining-block tariff.
+	Tier = dcmodel.Tier
+	// TieredTariff is a convex inclining-block tariff.
+	TieredTariff = dcmodel.TieredTariff
+)
+
+// NewTieredTariff validates and builds an inclining-block tariff.
+func NewTieredTariff(tiers []Tier) (*TieredTariff, error) { return dcmodel.NewTieredTariff(tiers) }
+
+// Opteron returns the paper's measured quad-core AMD Opteron 2380 profile.
+func Opteron() ServerType { return dcmodel.Opteron() }
+
+// PaperCluster returns the paper's 216,000-server deployment in the given
+// number of homogeneous groups.
+func PaperCluster(numGroups int) *Cluster { return dcmodel.PaperCluster(numGroups) }
+
+// HeterogeneousCluster returns a mixed-generation fleet (§2.1 motivates
+// heterogeneity by differing purchase dates).
+func HeterogeneousCluster(totalServers, numGroups int) *Cluster {
+	return dcmodel.HeterogeneousCluster(totalServers, numGroups)
+}
+
+// P3Weights maps (V, q, w, β) to the P3 objective weights of Eq. (16).
+func P3Weights(v, q, priceUSDPerKWh, beta float64) (we, wd float64) {
+	return dcmodel.P3Weights(v, q, priceUSDPerKWh, beta)
+}
+
+// Traces (paper §5.1).
+type Trace = trace.Trace
+
+// FIUYear synthesizes the FIU-like yearly workload trace (normalized).
+func FIUYear(seed uint64) *Trace { return trace.FIUYear(seed) }
+
+// MSRYear synthesizes the MSR-like yearly workload trace with ±noiseFrac
+// per-hour noise (the paper uses 0.4).
+func MSRYear(seed uint64, noiseFrac float64) *Trace { return trace.MSRYear(seed, noiseFrac) }
+
+// CAISOYear synthesizes one year of hourly electricity prices in $/kWh.
+func CAISOYear(seed uint64) *Trace { return price.CAISOYear(seed) }
+
+// SolarYear and WindYear synthesize normalized renewable-generation traces.
+func SolarYear(seed uint64) *Trace { return renewable.SolarYear(seed) }
+
+// WindYear synthesizes a normalized wind-farm output trace.
+func WindYear(seed uint64) *Trace { return renewable.WindYear(seed) }
+
+// Portfolio is a renewable position: on-site r(t), off-site f(t), RECs Z
+// and the capping aggressiveness α of Eq. (10).
+type Portfolio = renewable.Portfolio
+
+// COCA (paper §4).
+type (
+	// COCAConfig parameterizes the homogeneous-fleet COCA policy.
+	COCAConfig = core.Config
+	// COCA is the paper's Algorithm 1 as a simulation policy.
+	COCA = core.Policy
+	// Controller is the group-level COCA loop for heterogeneous clusters.
+	Controller = core.Controller
+	// SlotEnv is one slot's environment for the controller.
+	SlotEnv = core.SlotEnv
+	// SlotOutcome is the controller's record of one operated slot.
+	SlotOutcome = core.SlotOutcome
+	// VSchedule fixes frames and the per-frame cost-carbon parameters V_r.
+	VSchedule = lyapunov.VSchedule
+	// DeficitQueue is the virtual carbon-deficit queue of Eq. (17).
+	DeficitQueue = lyapunov.DeficitQueue
+)
+
+// NewCOCA builds the COCA policy.
+func NewCOCA(cfg COCAConfig) (*COCA, error) { return core.New(cfg) }
+
+// COCAFromScenario derives a COCA config from a scenario and a V schedule.
+func COCAFromScenario(sc *Scenario, sched VSchedule) COCAConfig {
+	return core.FromScenario(sc, sched)
+}
+
+// NewController builds the group-level COCA controller around any P3 solver.
+func NewController(cluster *Cluster, beta float64, sched VSchedule, alpha, recPerSlotKWh float64, solver P3Solver) (*Controller, error) {
+	return core.NewController(cluster, beta, sched, alpha, recPerSlotKWh, solver)
+}
+
+// ConstantV returns a single-V schedule over the given frames × slots.
+func ConstantV(v float64, frames, t int) VSchedule { return lyapunov.ConstantV(v, frames, t) }
+
+// NewDeficitQueue builds the Eq. (17) carbon-deficit queue with capping
+// aggressiveness alpha and per-slot REC allowance z.
+func NewDeficitQueue(alpha, recPerSlotKWh float64) *DeficitQueue {
+	return lyapunov.NewDeficitQueue(alpha, recPerSlotKWh)
+}
+
+// P3 solvers (paper §4.2).
+type (
+	// P3Solver solves one slot's P3 instance.
+	P3Solver = p3.Solver
+	// GSDOptions configures the Gibbs-sampling distributed optimizer.
+	GSDOptions = gsd.Options
+	// GSDResult is a GSD run outcome.
+	GSDResult = gsd.Result
+	// GSDSolver adapts GSD to the P3Solver interface.
+	GSDSolver = gsd.Solver
+)
+
+// SolveGSD runs the sequential GSD engine (Algorithm 2).
+func SolveGSD(p *SlotProblem, opts GSDOptions) (GSDResult, error) { return gsd.Solve(p, opts) }
+
+// SolveGSDDistributed runs GSD as a goroutine-per-group message-passing
+// system with random-timer competition.
+func SolveGSDDistributed(p *SlotProblem, opts GSDOptions) (GSDResult, error) {
+	return gsd.SolveDistributed(p, opts)
+}
+
+// EnumerateP3 exhaustively solves small P3 instances (test oracle).
+func EnumerateP3(p *SlotProblem) (Solution, error) { return p3.Enumerate(p) }
+
+// Simulation engine (paper §5).
+type (
+	// Scenario bundles fleet, traces, renewable portfolio and horizon.
+	Scenario = sim.Scenario
+	// Policy is a per-slot decision maker driven by the engine.
+	Policy = sim.Policy
+	// RunResult is a completed simulation.
+	RunResult = sim.Result
+	// Summary aggregates a run against the carbon budget.
+	Summary = sim.Summary
+	// ScenarioOptions tunes the calibrated scenario builder.
+	ScenarioOptions = simtest.Options
+)
+
+// Run drives a policy over a scenario.
+func Run(sc *Scenario, p Policy) (*RunResult, error) { return sim.Run(sc, p) }
+
+// Summarize aggregates a run.
+func Summarize(sc *Scenario, res *RunResult) Summary { return sim.Summarize(sc, res) }
+
+// SummarizeWithTrueUp additionally prices any budget shortfall as an
+// end-of-period REC purchase (§4.3).
+func SummarizeWithTrueUp(sc *Scenario, res *RunResult, recPriceUSDPerKWh float64) Summary {
+	return sim.SummarizeWithTrueUp(sc, res, recPriceUSDPerKWh)
+}
+
+// BuildScenario constructs a calibrated scenario following the paper's
+// §5.1 pipeline (unaware reference → on-site scaling → budget sizing). It
+// returns the scenario and the carbon-unaware reference grid usage in kWh.
+func BuildScenario(o ScenarioOptions) (*Scenario, float64, error) { return simtest.Build(o) }
+
+// Baselines (paper §5.2).
+type (
+	// Unaware is the carbon-unaware instantaneous cost minimizer.
+	Unaware = baseline.Unaware
+	// OPT is the optimal offline algorithm (Lagrangian dual).
+	OPT = baseline.OPT
+	// PerfectHP is the 48-hour prediction heuristic of §5.2.2.
+	PerfectHP = baseline.PerfectHP
+	// Lookahead is the T-step lookahead benchmark P2 of §3.2.
+	Lookahead = baseline.Lookahead
+)
+
+// NewUnaware builds the carbon-unaware baseline.
+func NewUnaware(sc *Scenario) *Unaware { return baseline.NewUnaware(sc) }
+
+// NewOPT plans the offline optimum for the scenario's budget.
+func NewOPT(sc *Scenario) (*OPT, error) { return baseline.NewOPT(sc) }
+
+// NewPerfectHP plans the prediction-based heuristic with the given
+// prediction window in hours (the paper uses 48).
+func NewPerfectHP(sc *Scenario, frameHours int) (*PerfectHP, error) {
+	return baseline.NewPerfectHP(sc, frameHours)
+}
+
+// NewLookahead plans the T-step lookahead benchmark.
+func NewLookahead(sc *Scenario, T int) (*Lookahead, error) { return baseline.NewLookahead(sc, T) }
+
+// Experiments (paper §5): drivers regenerating every figure.
+type ExperimentConfig = experiments.Config
+
+// DefaultExperiments returns the paper-scale experiment configuration.
+func DefaultExperiments() ExperimentConfig { return experiments.Default() }
+
+// Batch workloads (§2.3 isolation): a deferrable-job queue scheduled EDF
+// onto the spare cycles of servers the interactive policy powered on.
+type (
+	// BatchJob is one deferrable batch request.
+	BatchJob = batch.Job
+	// BatchScheduler runs EDF over per-slot spare capacity.
+	BatchScheduler = batch.Scheduler
+	// BatchStepResult reports one slot of batch scheduling.
+	BatchStepResult = batch.StepResult
+)
+
+// NewBatchScheduler returns an empty batch scheduler starting at slot 0.
+func NewBatchScheduler() *BatchScheduler { return batch.NewScheduler() }
+
+// BatchSpareServerHours derives the per-slot spare capacity a run left on
+// its powered-on servers, in full-speed server-hours.
+func BatchSpareServerHours(sc *Scenario, res *RunResult) []float64 {
+	return batch.SpareServerHours(sc, res)
+}
+
+// BatchWorkload synthesizes a deterministic deferrable-job stream.
+func BatchWorkload(seed uint64, slots int, jobsPerSlot, meanSizeServerHours float64, minSlack, maxSlack int) []BatchJob {
+	return batch.Workload(seed, slots, jobsPerSlot, meanSizeServerHours, minSlack, maxSlack)
+}
+
+// Geographic load balancing (multi-site extension; the setting of the
+// paper's refs [21][29][32]).
+type (
+	// GeoSite is one data center in a federation.
+	GeoSite = geo.Site
+	// GeoSystem is a federation with per-site carbon-deficit queues.
+	GeoSystem = geo.System
+	// GeoStepOutcome is one stepped federation slot.
+	GeoStepOutcome = geo.StepOutcome
+)
+
+// NewGeoSystem assembles a multi-site federation.
+func NewGeoSystem(sites []GeoSite, beta float64, slots int) (*GeoSystem, error) {
+	return geo.NewSystem(sites, beta, slots)
+}
+
+// Workload forecasting (for prediction-based budgeting studies).
+type (
+	// Forecaster produces hourly workload forecasts.
+	Forecaster = predict.Forecaster
+	// SeasonalNaive forecasts with the value one period earlier.
+	SeasonalNaive = predict.SeasonalNaive
+	// ProfileEWMA smooths an hour-of-week profile.
+	ProfileEWMA = predict.ProfileEWMA
+	// NoisyOracle is the truth perturbed by bounded uniform noise.
+	NoisyOracle = predict.NoisyOracle
+)
+
+// ForecastMAPE returns the mean absolute percentage error of a forecast.
+func ForecastMAPE(truth, forecast *Trace) float64 { return predict.MAPE(truth, forecast) }
+
+// NewPerfectHPWithForecast builds the prediction-based heuristic with an
+// arbitrary (possibly imperfect) workload forecast driving its caps.
+func NewPerfectHPWithForecast(sc *Scenario, frameHours int, forecast *Trace) (*PerfectHP, error) {
+	return baseline.NewPerfectHPWithForecast(sc, frameHours, forecast)
+}
+
+// Queueing validation (paper Eq. 4).
+type (
+	// QueueConfig configures the event-driven M/G/1/PS simulator.
+	QueueConfig = queueing.Config
+	// QueueResult summarizes a queueing run.
+	QueueResult = queueing.Result
+)
+
+// ServiceDist samples i.i.d. service requirements for the queueing
+// simulator. Construct values with ExponentialService,
+// DeterministicService or HyperexpService.
+type ServiceDist = queueing.ServiceDist
+
+// ExponentialService returns an exponential requirement distribution.
+func ExponentialService(mean float64) ServiceDist { return queueing.ExponentialService(mean) }
+
+// DeterministicService returns a constant requirement.
+func DeterministicService(mean float64) ServiceDist { return queueing.DeterministicService(mean) }
+
+// HyperexpService returns a high-variance two-phase requirement.
+func HyperexpService(mean, p float64) ServiceDist { return queueing.HyperexpService(mean, p) }
+
+// SimulateQueue runs the event-driven M/G/1/PS simulation.
+func SimulateQueue(cfg QueueConfig) (QueueResult, error) { return queueing.Simulate(cfg) }
+
+// AnalyticMeanJobs is the M/G/1/PS prediction λ/(x−λ) behind Eq. (4).
+func AnalyticMeanJobs(arrivalRPS, serviceRPS float64) float64 {
+	return queueing.AnalyticMeanJobs(arrivalRPS, serviceRPS)
+}

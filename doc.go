@@ -1,0 +1,29 @@
+// Package coca is a Go reproduction of "COCA: Online Distributed Resource
+// Management for Cost Minimization and Carbon Neutrality in Data Centers"
+// (Ren & He, SC'13).
+//
+// COCA minimizes a data center's operational cost — electricity plus a
+// convex delay cost — while keeping its long-term grid-electricity usage
+// within a renewable budget (off-site power purchasing agreements plus
+// renewable energy credits), with no long-term future information. The
+// algorithm maintains a virtual carbon-deficit queue (Lyapunov
+// drift-plus-penalty) whose length is added to the electricity price in a
+// per-slot optimization P3 over discrete per-server DVFS speeds and the
+// load split across servers. P3 is solved distributedly by GSD, a Gibbs
+// sampling procedure in which each server autonomously explores speeds.
+//
+// This package is the public facade; it re-exports the pieces a downstream
+// user needs:
+//
+//   - the data-center model (server types, clusters, power and delay costs),
+//   - trace synthesis for workloads, renewables and electricity prices,
+//   - the COCA policy and group-level controller,
+//   - the GSD distributed P3 solver and the exact reference solvers,
+//   - baselines (carbon-unaware, offline OPT, PerfectHP, T-step lookahead),
+//   - the discrete-time simulation engine and scenario builder, and
+//   - drivers that regenerate every figure of the paper's evaluation.
+//
+// See the examples/ directory for runnable end-to-end programs and
+// DESIGN.md / EXPERIMENTS.md for the reproduction methodology and measured
+// results.
+package coca

@@ -1,0 +1,78 @@
+// Quickstart: build a calibrated data-center scenario, run COCA for a
+// simulated month, and report cost and carbon-neutrality outcomes.
+//
+// Usage:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	coca "repro"
+)
+
+func main() {
+	// A 30-day scenario with a 5,000-server fleet, calibrated like the
+	// paper's §5.1: on-site renewables cover ≈ 20% of consumption and the
+	// carbon budget is 92% of what a carbon-unaware operator would draw
+	// from the grid.
+	sc, refGrid, err := coca.BuildScenario(coca.ScenarioOptions{
+		Slots: 30 * 24,
+		N:     5000,
+		Seed:  2012,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("fleet: %d Opteron servers, peak workload %.0f req/s\n",
+		5000, sc.Workload.Max())
+	fmt.Printf("carbon-unaware reference: %.0f kWh grid draw; budget: %.0f kWh\n",
+		refGrid, sc.Portfolio.BudgetKWh(sc.Slots))
+
+	// COCA with a single cost-carbon parameter V over the whole horizon.
+	// Larger V favors cost over carbon; sweep a coarse grid and keep the
+	// largest V that stays carbon neutral (the paper's trial-and-error
+	// tuning of §4.3).
+	var s coca.Summary
+	picked := false
+	for _, v := range []float64{1e4, 1e5, 1e6, 3e6, 1e7} {
+		policy, err := coca.NewCOCA(coca.COCAFromScenario(sc, coca.ConstantV(v, 1, sc.Slots)))
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := coca.Run(sc, policy)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if sum := coca.Summarize(sc, res); sum.BudgetUsedFraction <= 1 &&
+			(!picked || sum.BudgetUsedFraction > s.BudgetUsedFraction) {
+			s, picked = sum, true
+		}
+	}
+	if !picked {
+		log.Fatal("no neutral V in the sweep; widen it downward")
+	}
+	fmt.Printf("\nCOCA results over %d hours:\n", s.Slots)
+	fmt.Printf("  average hourly cost: $%.2f (electricity $%.2f, delay $%.2f)\n",
+		s.AvgHourlyCostUSD, s.AvgElectricityUSD, s.AvgDelayUSD)
+	fmt.Printf("  grid energy: %.0f kWh (%.1f%% of carbon budget)\n",
+		s.TotalGridKWh, 100*s.BudgetUsedFraction)
+	if s.BudgetUsedFraction <= 1 {
+		fmt.Println("  carbon neutrality: satisfied ✓")
+	} else {
+		fmt.Println("  carbon neutrality: violated ✗ (lower V to tighten)")
+	}
+
+	// Compare against the carbon-unaware operator.
+	un, err := coca.Run(sc, coca.NewUnaware(sc))
+	if err != nil {
+		log.Fatal(err)
+	}
+	us := coca.Summarize(sc, un)
+	fmt.Printf("\ncarbon-unaware: $%.2f/h at %.1f%% of budget (violates neutrality)\n",
+		us.AvgHourlyCostUSD, 100*us.BudgetUsedFraction)
+	fmt.Printf("COCA pays %.1f%% over the unconstrained cost to stay neutral\n",
+		100*(s.AvgHourlyCostUSD-us.AvgHourlyCostUSD)/us.AvgHourlyCostUSD)
+}

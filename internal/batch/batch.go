@@ -1,0 +1,223 @@
+// Package batch implements the delay-tolerant batch-job queue that the
+// paper isolates from the interactive workload (§2.3: "isolating
+// delay-tolerant batch workloads that can be handled by maintaining a
+// separate batch job queue"). Batch jobs carry a work size and a deadline
+// and are scheduled onto the *spare* cycles of servers the interactive
+// policy has already powered on, using earliest-deadline-first (EDF) —
+// optimal for feasibility on a single pooled resource.
+//
+// Work is measured in server-hours at full speed. Running one such hour
+// costs the computing (non-static) energy of a fully utilized server,
+// since the host is already on for interactive traffic; the scheduler
+// reports that energy so callers can charge it against cost and carbon.
+package batch
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/dcmodel"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// Job is one batch request.
+type Job struct {
+	ID              int
+	ArriveSlot      int
+	SizeServerHours float64 // total work, in full-speed server-hours
+	DeadlineSlot    int     // last slot (inclusive) in which work may run
+}
+
+// Validate reports whether the job is well formed.
+func (j Job) Validate() error {
+	if j.SizeServerHours <= 0 {
+		return fmt.Errorf("batch: job %d has non-positive size %v", j.ID, j.SizeServerHours)
+	}
+	if j.DeadlineSlot < j.ArriveSlot {
+		return fmt.Errorf("batch: job %d deadline %d before arrival %d", j.ID, j.DeadlineSlot, j.ArriveSlot)
+	}
+	return nil
+}
+
+// pending is a job in the scheduler with remaining work.
+type pending struct {
+	Job
+	remaining float64
+}
+
+type edfHeap []*pending
+
+func (h edfHeap) Len() int           { return len(h) }
+func (h edfHeap) Less(i, j int) bool { return h[i].DeadlineSlot < h[j].DeadlineSlot }
+func (h edfHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *edfHeap) Push(x any)        { *h = append(*h, x.(*pending)) }
+func (h *edfHeap) Pop() any          { old := *h; n := len(old); it := old[n-1]; *h = old[:n-1]; return it }
+
+// Scheduler runs EDF over per-slot spare capacity. Feed jobs with Submit
+// (any time at or before their arrival slot) and advance with Step.
+type Scheduler struct {
+	queue    edfHeap
+	future   []*pending // submitted but not yet arrived, kept sorted by arrival
+	slot     int
+	served   float64
+	missed   int
+	finished int
+}
+
+// NewScheduler returns an empty scheduler starting at slot 0.
+func NewScheduler() *Scheduler { return &Scheduler{} }
+
+// ErrLateSubmit is returned when a job is submitted after its arrival slot
+// has already been stepped past.
+var ErrLateSubmit = errors.New("batch: job submitted after its arrival slot")
+
+// Submit adds a job. Jobs may be submitted in any order as long as their
+// arrival slot has not already passed.
+func (s *Scheduler) Submit(j Job) error {
+	if err := j.Validate(); err != nil {
+		return err
+	}
+	if j.ArriveSlot < s.slot {
+		return ErrLateSubmit
+	}
+	p := &pending{Job: j, remaining: j.SizeServerHours}
+	if j.ArriveSlot == s.slot {
+		heap.Push(&s.queue, p)
+	} else {
+		s.future = append(s.future, p)
+	}
+	return nil
+}
+
+// StepResult reports one slot of batch scheduling.
+type StepResult struct {
+	Slot            int
+	UsedServerHours float64 // spare capacity consumed
+	EnergyKWh       float64 // computing energy of the batch work
+	Completed       []int   // jobs finished this slot
+	Missed          []int   // jobs whose deadline expired unfinished
+	Backlog         float64 // remaining work queued after the slot
+}
+
+// Step schedules up to spareServerHours of batch work in the current slot
+// using EDF, charges its energy via the server type's full-speed computing
+// power, and advances the clock. Negative spare is treated as zero.
+func (s *Scheduler) Step(spareServerHours float64, server dcmodel.ServerType) StepResult {
+	res := StepResult{Slot: s.slot}
+	// Admit arrivals for this slot.
+	rest := s.future[:0]
+	for _, p := range s.future {
+		if p.ArriveSlot == s.slot {
+			heap.Push(&s.queue, p)
+		} else {
+			rest = append(rest, p)
+		}
+	}
+	s.future = rest
+
+	capacity := math.Max(0, spareServerHours)
+	for capacity > 0 && s.queue.Len() > 0 {
+		p := s.queue[0]
+		if p.DeadlineSlot < s.slot {
+			heap.Pop(&s.queue)
+			res.Missed = append(res.Missed, p.ID)
+			s.missed++
+			continue
+		}
+		take := math.Min(capacity, p.remaining)
+		p.remaining -= take
+		capacity -= take
+		res.UsedServerHours += take
+		if p.remaining <= 1e-12 {
+			heap.Pop(&s.queue)
+			res.Completed = append(res.Completed, p.ID)
+			s.finished++
+		}
+	}
+	// Expire anything whose deadline is this slot and still unfinished.
+	for s.queue.Len() > 0 && s.queue[0].DeadlineSlot <= s.slot {
+		p := heap.Pop(&s.queue).(*pending)
+		if p.remaining > 1e-12 {
+			res.Missed = append(res.Missed, p.ID)
+			s.missed++
+		}
+	}
+	for _, p := range s.queue {
+		res.Backlog += p.remaining
+	}
+	for _, p := range s.future {
+		res.Backlog += p.remaining
+	}
+	res.EnergyKWh = res.UsedServerHours * server.ComputingKW(server.NumSpeeds())
+	s.served += res.UsedServerHours
+	s.slot++
+	return res
+}
+
+// Stats returns cumulative totals: work served (server-hours), jobs
+// completed, jobs missed.
+func (s *Scheduler) Stats() (served float64, completed, missed int) {
+	return s.served, s.finished, s.missed
+}
+
+// Slot returns the next slot to be stepped.
+func (s *Scheduler) Slot() int { return s.slot }
+
+// SpareServerHours derives the per-slot spare capacity left behind by an
+// interactive policy's run: for each slot, the γ-capped headroom of the
+// powered-on servers, converted to full-speed server-hours. This is the
+// capacity batch jobs can use without powering on anything new.
+func SpareServerHours(sc *sim.Scenario, res *sim.Result) []float64 {
+	out := make([]float64, len(res.Records))
+	maxRate := sc.Server.MaxRate()
+	for i, rec := range res.Records {
+		if rec.Active == 0 || rec.Speed == 0 {
+			continue
+		}
+		capRPS := sc.Gamma * sc.Server.Rate(rec.Speed) * float64(rec.Active)
+		spareRPS := capRPS - rec.LambdaRPS
+		if spareRPS > 0 {
+			out[i] = spareRPS / maxRate
+		}
+	}
+	return out
+}
+
+// Workload synthesizes a deterministic batch-job stream: jobs arrive at a
+// Poisson-like rate with lognormal sizes and uniform slack before their
+// deadlines. Deadlines are clamped to the horizon.
+func Workload(seed uint64, slots int, jobsPerSlot, meanSizeServerHours float64, minSlack, maxSlack int) []Job {
+	rng := stats.NewRNG(seed)
+	var jobs []Job
+	id := 0
+	for t := 0; t < slots; t++ {
+		n := int(jobsPerSlot)
+		if rng.Float64() < jobsPerSlot-math.Floor(jobsPerSlot) {
+			n++
+		}
+		for k := 0; k < n; k++ {
+			slack := minSlack
+			if maxSlack > minSlack {
+				slack += rng.IntN(maxSlack - minSlack + 1)
+			}
+			deadline := t + slack
+			if deadline >= slots {
+				deadline = slots - 1
+			}
+			if deadline < t {
+				deadline = t
+			}
+			jobs = append(jobs, Job{
+				ID:              id,
+				ArriveSlot:      t,
+				SizeServerHours: meanSizeServerHours * rng.LogNormal(-0.125, 0.5),
+				DeadlineSlot:    deadline,
+			})
+			id++
+		}
+	}
+	return jobs
+}

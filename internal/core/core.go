@@ -1,0 +1,256 @@
+// Package core implements COCA (Algorithm 1), the paper's primary
+// contribution: an online algorithm that minimizes data-center operational
+// cost while satisfying long-term carbon neutrality, without long-term
+// future information.
+//
+// Each slot t, COCA observes λ(t), r(t) and w(t), resets the virtual
+// carbon-deficit queue at frame boundaries (so the cost-carbon parameter V
+// can be retuned per frame), and solves P3 (Eq. 16):
+//
+//	min V·g(λ,x) + q(t)·[p(λ,x) − r(t)]^+
+//
+// — equivalently a dcmodel.SlotProblem with weights We = V·w(t) + q(t) and
+// Wd = V·β. After the slot, the realized off-site generation f(t) drives
+// the queue update of Eq. (17). As q(t) grows the electricity weight grows
+// with it, realizing "if violate neutrality, then use less electricity".
+//
+// Two entry points are provided: Policy, which plugs into the sim engine's
+// homogeneous-fleet year-long runs using the exact symmetric P3 solver, and
+// Controller, the group-level form that works with any p3.Solver — in
+// particular GSD, the paper's distributed solver — for heterogeneous
+// clusters.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/dcmodel"
+	"repro/internal/lyapunov"
+	"repro/internal/p3"
+	"repro/internal/sim"
+)
+
+// Config parameterizes COCA for the homogeneous sim engine.
+type Config struct {
+	Server dcmodel.ServerType
+	N      int
+	Gamma  float64
+	PUE    float64
+	Beta   float64
+
+	// Schedule fixes frames and per-frame V_r (Algorithm 1 lines 2–4).
+	Schedule lyapunov.VSchedule
+	// Alpha and RECPerSlotKWh parameterize the deficit-queue update Eq. (17).
+	Alpha         float64
+	RECPerSlotKWh float64
+
+	// SwitchCostKWh internalizes the Fig. 5(d) switching cost into P3 (the
+	// penalty per toggled server is V·w(t)·SwitchCostKWh).
+	SwitchCostKWh float64
+
+	// Tariff optionally makes the electricity cost nonlinear (§2.1): P3's
+	// grid term becomes V·w(t)·Tariff.Cost(g) + q(t)·g (the deficit queue
+	// still prices raw kWh, since carbon accounting is in energy).
+	Tariff dcmodel.Tariff
+
+	// MaxPowerKW and MaxDelayCost are the optional §3.1 per-slot
+	// constraints, enforced inside P3. Zero disables.
+	MaxPowerKW   float64
+	MaxDelayCost float64
+}
+
+// Policy is COCA as a sim.Policy over a homogeneous fleet.
+type Policy struct {
+	cfg   Config
+	queue *lyapunov.DeficitQueue
+
+	prevActive int
+	lastSlot   int
+	vOverride  float64
+
+	// QueueTrace records q(t) per slot for analysis when enabled.
+	QueueTrace []float64
+	record     bool
+}
+
+// New builds a COCA policy. The schedule must cover the intended horizon;
+// Run validates that via the scenario.
+func New(cfg Config) (*Policy, error) {
+	if err := cfg.Server.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.N <= 0 {
+		return nil, fmt.Errorf("core: fleet size %d", cfg.N)
+	}
+	if cfg.Beta < 0 {
+		return nil, fmt.Errorf("core: negative beta")
+	}
+	if err := cfg.Schedule.Validate(cfg.Schedule.Slots()); err != nil {
+		return nil, err
+	}
+	return &Policy{
+		cfg:   cfg,
+		queue: lyapunov.NewDeficitQueue(cfg.Alpha, cfg.RECPerSlotKWh),
+	}, nil
+}
+
+// FromScenario derives a COCA config from a sim scenario plus a V schedule.
+func FromScenario(sc *sim.Scenario, sched lyapunov.VSchedule) Config {
+	return Config{
+		Server: sc.Server, N: sc.N, Gamma: sc.Gamma, PUE: sc.PUE, Beta: sc.Beta,
+		Schedule:      sched,
+		Alpha:         sc.Portfolio.Alpha,
+		RECPerSlotKWh: sc.Portfolio.RECPerSlotKWh(sc.Slots),
+		SwitchCostKWh: sc.SwitchCostKWh,
+		Tariff:        sc.Tariff,
+		MaxPowerKW:    sc.MaxPowerKW,
+		MaxDelayCost:  sc.MaxDelayCost,
+	}
+}
+
+// RecordQueue enables per-slot queue-length tracing.
+func (p *Policy) RecordQueue() { p.record = true }
+
+// SetV overrides the schedule's cost-carbon parameter for subsequent slots
+// without touching frame boundaries — used by ablation studies that vary V
+// while keeping (or suppressing) queue resets. Zero restores the schedule.
+func (p *Policy) SetV(v float64) { p.vOverride = v }
+
+// Name implements sim.Policy.
+func (p *Policy) Name() string { return "coca" }
+
+// Queue exposes the current deficit-queue length q(t).
+func (p *Policy) Queue() float64 { return p.queue.Len() }
+
+// Decide implements sim.Policy: Algorithm 1 lines 2–5.
+func (p *Policy) Decide(obs sim.Observation) (sim.Config, error) {
+	if p.cfg.Schedule.FrameStart(obs.Slot) {
+		p.queue.Reset()
+	}
+	v := p.cfg.Schedule.V(obs.Slot)
+	if p.vOverride > 0 {
+		v = p.vOverride
+	}
+	we, wd := dcmodel.P3Weights(v, p.queue.Len(), obs.PriceUSDPerKWh, p.cfg.Beta)
+	hp := &p3.HomogeneousProblem{
+		Type: p.cfg.Server, N: p.cfg.N,
+		Gamma: p.cfg.Gamma, PUE: p.cfg.PUE,
+		LambdaRPS: obs.LambdaRPS,
+		We:        we, Wd: wd,
+		OnsiteKW:     obs.OnsiteKW,
+		SwitchWeight: v * obs.PriceUSDPerKWh * p.cfg.SwitchCostKWh,
+		PrevActive:   p.prevActive,
+		MaxPowerKW:   p.cfg.MaxPowerKW,
+		MaxDelayCost: p.cfg.MaxDelayCost,
+	}
+	if p.cfg.Tariff != nil {
+		q := p.queue.Len()
+		w := obs.PriceUSDPerKWh
+		tariff := p.cfg.Tariff
+		hp.GridCostFn = func(g float64) float64 {
+			return v*w*tariff.Cost(g) + q*g
+		}
+	}
+	sol, err := hp.Solve()
+	if err != nil {
+		return sim.Config{}, err
+	}
+	p.prevActive = sol.Active
+	p.lastSlot = obs.Slot
+	return sim.Config{Speed: sol.Speed, Active: sol.Active}, nil
+}
+
+// Observe implements sim.Policy: the Eq. (17) queue update with the
+// realized grid draw and off-site generation.
+func (p *Policy) Observe(fb sim.Feedback) {
+	q := p.queue.Update(fb.GridKWh, fb.OffsiteKWh)
+	if p.record {
+		p.QueueTrace = append(p.QueueTrace, q)
+	}
+}
+
+var _ sim.Policy = (*Policy)(nil)
+
+// Controller is the group-level COCA loop for heterogeneous clusters: the
+// caller supplies any P3 solver (typically gsd.Solver, the paper's
+// distributed algorithm) and feeds environments slot by slot.
+type Controller struct {
+	Cluster  *dcmodel.Cluster
+	Beta     float64
+	Schedule lyapunov.VSchedule
+	Solver   p3.Solver
+
+	queue *lyapunov.DeficitQueue
+	slot  int
+}
+
+// NewController builds a group-level COCA controller.
+func NewController(cluster *dcmodel.Cluster, beta float64, sched lyapunov.VSchedule, alpha, recPerSlotKWh float64, solver p3.Solver) (*Controller, error) {
+	if err := cluster.Validate(); err != nil {
+		return nil, err
+	}
+	if err := sched.Validate(sched.Slots()); err != nil {
+		return nil, err
+	}
+	if solver == nil {
+		return nil, fmt.Errorf("core: nil P3 solver")
+	}
+	return &Controller{
+		Cluster: cluster, Beta: beta, Schedule: sched, Solver: solver,
+		queue: lyapunov.NewDeficitQueue(alpha, recPerSlotKWh),
+	}, nil
+}
+
+// SlotEnv is one slot's environment for the controller.
+type SlotEnv struct {
+	LambdaRPS      float64
+	OnsiteKW       float64
+	PriceUSDPerKWh float64
+}
+
+// SlotOutcome is the controller's record of one decided-and-operated slot.
+type SlotOutcome struct {
+	Solution dcmodel.Solution
+	Cost     dcmodel.CostBreakdown
+	Queue    float64 // q(t) used in the slot's P3 weights
+}
+
+// Step runs Algorithm 1 for one slot: frame reset, P3 via the plugged
+// solver, cost accounting. Call Settle afterwards with the realized f(t).
+func (c *Controller) Step(env SlotEnv) (SlotOutcome, error) {
+	if c.Schedule.FrameStart(c.slot) {
+		c.queue.Reset()
+	}
+	v := c.Schedule.V(c.slot)
+	q := c.queue.Len()
+	we, wd := dcmodel.P3Weights(v, q, env.PriceUSDPerKWh, c.Beta)
+	prob := &dcmodel.SlotProblem{
+		Cluster:   c.Cluster,
+		LambdaRPS: env.LambdaRPS,
+		We:        we, Wd: wd,
+		OnsiteKW: env.OnsiteKW,
+	}
+	sol, err := c.Solver.Solve(prob)
+	if err != nil {
+		return SlotOutcome{}, fmt.Errorf("core: slot %d: %w", c.slot, err)
+	}
+	cost := c.Cluster.Cost(dcmodel.CostParams{
+		PriceUSDPerKWh: env.PriceUSDPerKWh,
+		OnsiteKW:       env.OnsiteKW,
+		Beta:           c.Beta,
+	}, sol.Speeds, sol.Load)
+	return SlotOutcome{Solution: sol, Cost: cost, Queue: q}, nil
+}
+
+// Settle finishes the slot with the realized off-site generation, updating
+// the deficit queue and advancing the clock.
+func (c *Controller) Settle(out SlotOutcome, offsiteKWh float64) {
+	c.queue.Update(out.Cost.GridKWh, offsiteKWh)
+	c.slot++
+}
+
+// Queue exposes the deficit-queue length.
+func (c *Controller) Queue() float64 { return c.queue.Len() }
+
+// Slot returns the next slot index to be stepped.
+func (c *Controller) Slot() int { return c.slot }

@@ -1,0 +1,82 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dcmodel"
+	"repro/internal/gsd"
+	"repro/internal/lyapunov"
+	"repro/internal/price"
+	"repro/internal/renewable"
+	"repro/internal/trace"
+)
+
+// TestControllerGSDWeekIntegration runs the paper's full heterogeneous
+// stack — COCA's controller driving GSD with warm starts — for a simulated
+// week and checks end-to-end invariants: feasibility every slot, finite
+// costs, a live deficit queue, and energy usage bounded by the all-on
+// envelope.
+func TestControllerGSDWeekIntegration(t *testing.T) {
+	if testing.Short() {
+		t.Skip("week-long GSD integration skipped in -short mode")
+	}
+	const hours = 7 * 24
+	cluster := dcmodel.HeterogeneousCluster(600, 12)
+	solver := &gsd.Solver{Opts: gsd.Options{
+		Delta: 1e8, MaxIters: 600, Patience: 250, Seed: 5,
+	}}
+	// A deliberately tight allowance so the queue engages during the week.
+	ctrl, err := NewController(cluster, 0.01, lyapunov.ConstantV(5e4, 1, hours), 1, 4, solver)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wl := trace.FIUYear(3)
+	pr := price.CAISOYear(4)
+	onsite := renewable.SolarYear(5)
+	offsite := renewable.WindYear(6)
+	peak := 0.5 * cluster.MaxCapacityRPS()
+	peakPower := cluster.PeakPowerKW()
+
+	var totalCost, totalGrid float64
+	queueEngaged := false
+	for tt := 0; tt < hours; tt++ {
+		out, err := ctrl.Step(SlotEnv{
+			LambdaRPS:      wl.Values[tt] * peak,
+			OnsiteKW:       onsite.Values[tt] * 0.1 * peakPower,
+			PriceUSDPerKWh: pr.Values[tt],
+		})
+		if err != nil {
+			t.Fatalf("slot %d: %v", tt, err)
+		}
+		if err := cluster.CheckConfig(out.Solution.Speeds, out.Solution.Load); err != nil {
+			t.Fatalf("slot %d: %v", tt, err)
+		}
+		var load float64
+		for _, l := range out.Solution.Load {
+			load += l
+		}
+		if math.Abs(load-wl.Values[tt]*peak) > 1e-3*(1+load) {
+			t.Fatalf("slot %d: served %v of %v", tt, load, wl.Values[tt]*peak)
+		}
+		if out.Cost.PowerKW > peakPower*(1+1e-9) {
+			t.Fatalf("slot %d: power %v above the physical envelope %v", tt, out.Cost.PowerKW, peakPower)
+		}
+		if math.IsInf(out.Cost.TotalUSD, 0) || math.IsNaN(out.Cost.TotalUSD) {
+			t.Fatalf("slot %d: cost %v", tt, out.Cost.TotalUSD)
+		}
+		ctrl.Settle(out, offsite.Values[tt]*2)
+		if ctrl.Queue() > 0 {
+			queueEngaged = true
+		}
+		totalCost += out.Cost.TotalUSD
+		totalGrid += out.Cost.GridKWh
+	}
+	if !queueEngaged {
+		t.Error("deficit queue never engaged despite the tight allowance")
+	}
+	if totalCost <= 0 || totalGrid <= 0 {
+		t.Errorf("degenerate totals: cost=%v grid=%v", totalCost, totalGrid)
+	}
+	t.Logf("week: $%.2f total, %.0f kWh grid, final q=%.1f", totalCost, totalGrid, ctrl.Queue())
+}

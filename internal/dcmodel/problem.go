@@ -1,0 +1,129 @@
+package dcmodel
+
+import (
+	"fmt"
+	"math"
+)
+
+// CostParams carries the per-slot environment needed to price a
+// configuration: the electricity price w(t), the on-site renewable supply
+// r(t), and the delay weight β of Eq. (5).
+type CostParams struct {
+	PriceUSDPerKWh float64 // w(t)
+	OnsiteKW       float64 // r(t), on-site renewable power available this slot
+	Beta           float64 // β: dollars per unit of delay cost
+}
+
+// CostBreakdown decomposes the cost of one slot's configuration.
+type CostBreakdown struct {
+	PowerKW        float64 // p(λ, x): facility power
+	GridKWh        float64 // y = [p − r]^+ (slot = 1 h, so kW ≡ kWh)
+	ElectricityUSD float64 // e = w · y (Eq. 3)
+	DelayCost      float64 // d (Eq. 4), dimensionless
+	DelayUSD       float64 // β · d
+	TotalUSD       float64 // g = e + β·d (Eq. 5)
+}
+
+// Cost evaluates Eqs. (3)–(5) for a configuration. Infeasible loads (at or
+// beyond a group's aggregate rate) yield +Inf delay and total.
+func (c *Cluster) Cost(p CostParams, speeds []int, load []float64) CostBreakdown {
+	pw := c.FacilityPowerKW(speeds, load)
+	grid := pw - p.OnsiteKW
+	if grid < 0 {
+		grid = 0
+	}
+	d := c.DelayCost(speeds, load)
+	e := p.PriceUSDPerKWh * grid
+	return CostBreakdown{
+		PowerKW:        pw,
+		GridKWh:        grid,
+		ElectricityUSD: e,
+		DelayCost:      d,
+		DelayUSD:       p.Beta * d,
+		TotalUSD:       e + p.Beta*d,
+	}
+}
+
+// SlotProblem is the per-slot optimization every algorithm in this
+// repository reduces to:
+//
+//	min over (speeds, load):  We·[p(λ,x) − r]^+ + Wd·d(λ,x)
+//	s.t. Σ_g load_g = LambdaRPS, 0 ≤ load_g ≤ γ·n_g·x_g, speeds discrete.
+//
+// COCA's P3 (Eq. 16) uses We = V·w(t) + q(t) and Wd = V·β. The plain cost
+// g of Eq. (5) is We = w(t), Wd = β. The offline OPT dual uses
+// We = w(t) + η, Wd = β. PerfectHP's capped subproblem bisects an extra
+// penalty into We.
+type SlotProblem struct {
+	Cluster   *Cluster
+	LambdaRPS float64 // λ(t): total arrivals to place
+	We        float64 // weight on grid energy [p − r]^+
+	Wd        float64 // weight on delay cost d
+	OnsiteKW  float64 // r(t)
+}
+
+// P3Weights builds the COCA P3 weights of Eq. (16) from the control
+// parameter V, the carbon-deficit queue length q, the electricity price w
+// and the delay weight β.
+func P3Weights(v, q, priceUSDPerKWh, beta float64) (we, wd float64) {
+	return v*priceUSDPerKWh + q, v * beta
+}
+
+// Validate reports whether the problem is well formed and feasible in
+// aggregate (λ must not exceed the cluster's top-speed γ-capacity).
+func (p *SlotProblem) Validate() error {
+	if p.Cluster == nil {
+		return fmt.Errorf("dcmodel: SlotProblem has nil cluster")
+	}
+	if err := p.Cluster.Validate(); err != nil {
+		return err
+	}
+	if p.LambdaRPS < 0 || math.IsNaN(p.LambdaRPS) {
+		return fmt.Errorf("dcmodel: negative arrival rate %v", p.LambdaRPS)
+	}
+	if p.We < 0 || p.Wd < 0 {
+		return fmt.Errorf("dcmodel: negative weights We=%v Wd=%v", p.We, p.Wd)
+	}
+	top := make([]int, len(p.Cluster.Groups))
+	for g := range top {
+		top[g] = p.Cluster.Groups[g].Type.NumSpeeds()
+	}
+	if p.LambdaRPS > p.Cluster.UsableCapacityRPS(top)*(1+1e-12) {
+		return fmt.Errorf("dcmodel: arrival rate %v exceeds usable capacity %v",
+			p.LambdaRPS, p.Cluster.UsableCapacityRPS(top))
+	}
+	return nil
+}
+
+// Objective evaluates We·[p − r]^+ + Wd·d for a configuration. It returns
+// +Inf for configurations whose delay is infinite.
+func (p *SlotProblem) Objective(speeds []int, load []float64) float64 {
+	pw := p.Cluster.FacilityPowerKW(speeds, load)
+	grid := pw - p.OnsiteKW
+	if grid < 0 {
+		grid = 0
+	}
+	d := p.Cluster.DelayCost(speeds, load)
+	return p.We*grid + p.Wd*d
+}
+
+// Feasible reports whether the speed vector can carry the problem's load
+// under the γ cap (GSD's Algorithm 2 line 2 gate).
+func (p *SlotProblem) Feasible(speeds []int) bool {
+	return p.LambdaRPS <= p.Cluster.UsableCapacityRPS(speeds)*(1+1e-12)
+}
+
+// Solution is a solved slot configuration.
+type Solution struct {
+	Speeds []int
+	Load   []float64
+	Value  float64 // objective value We·[p−r]^+ + Wd·d
+}
+
+// Clone deep-copies the solution.
+func (s Solution) Clone() Solution {
+	out := Solution{Value: s.Value}
+	out.Speeds = append([]int(nil), s.Speeds...)
+	out.Load = append([]float64(nil), s.Load...)
+	return out
+}

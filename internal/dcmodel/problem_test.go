@@ -1,0 +1,131 @@
+package dcmodel
+
+import (
+	"math"
+	"testing"
+)
+
+func smallCluster() *Cluster {
+	return &Cluster{
+		Groups: []Group{
+			{Type: Opteron(), N: 10},
+			{Type: Opteron(), N: 10},
+		},
+		Gamma: 0.95,
+		PUE:   1,
+	}
+}
+
+func TestCostBreakdown(t *testing.T) {
+	c := smallCluster()
+	p := CostParams{PriceUSDPerKWh: 0.05, OnsiteKW: 0, Beta: 0.01}
+	speeds := []int{4, 4}
+	load := []float64{50, 50}
+	cb := c.Cost(p, speeds, load)
+	// Power: 2 groups × (10·0.140 + 0.091·50/10) = 2 × 1.855 = 3.71 kW.
+	if math.Abs(cb.PowerKW-3.71) > 1e-9 {
+		t.Errorf("PowerKW = %v, want 3.71", cb.PowerKW)
+	}
+	if math.Abs(cb.GridKWh-3.71) > 1e-9 {
+		t.Errorf("GridKWh = %v", cb.GridKWh)
+	}
+	if math.Abs(cb.ElectricityUSD-0.05*3.71) > 1e-9 {
+		t.Errorf("ElectricityUSD = %v", cb.ElectricityUSD)
+	}
+	// Delay per group: 10·50/(100−50) = 10, total 20.
+	if math.Abs(cb.DelayCost-20) > 1e-9 {
+		t.Errorf("DelayCost = %v, want 20", cb.DelayCost)
+	}
+	if math.Abs(cb.TotalUSD-(0.05*3.71+0.01*20)) > 1e-9 {
+		t.Errorf("TotalUSD = %v", cb.TotalUSD)
+	}
+}
+
+func TestCostOnsiteOffsetsGrid(t *testing.T) {
+	c := smallCluster()
+	speeds := []int{4, 4}
+	load := []float64{50, 50}
+	// On-site renewables exceed facility power → zero grid draw (Eq. 3's [·]^+).
+	cb := c.Cost(CostParams{PriceUSDPerKWh: 0.05, OnsiteKW: 100, Beta: 0.01}, speeds, load)
+	if cb.GridKWh != 0 || cb.ElectricityUSD != 0 {
+		t.Errorf("grid = %v, electricity = %v; want 0", cb.GridKWh, cb.ElectricityUSD)
+	}
+	// Partial offset.
+	cb = c.Cost(CostParams{PriceUSDPerKWh: 0.05, OnsiteKW: 1.71, Beta: 0.01}, speeds, load)
+	if math.Abs(cb.GridKWh-2) > 1e-9 {
+		t.Errorf("partially offset grid = %v, want 2", cb.GridKWh)
+	}
+}
+
+func TestP3Weights(t *testing.T) {
+	we, wd := P3Weights(240, 17, 0.05, 0.01)
+	if math.Abs(we-(240*0.05+17)) > 1e-12 {
+		t.Errorf("We = %v", we)
+	}
+	if math.Abs(wd-2.4) > 1e-12 {
+		t.Errorf("Wd = %v", wd)
+	}
+}
+
+func TestSlotProblemObjectiveMatchesCost(t *testing.T) {
+	c := smallCluster()
+	speeds := []int{4, 3}
+	load := []float64{40, 30}
+	pr := SlotProblem{Cluster: c, LambdaRPS: 70, We: 0.05, Wd: 0.01, OnsiteKW: 1}
+	cb := c.Cost(CostParams{PriceUSDPerKWh: 0.05, OnsiteKW: 1, Beta: 0.01}, speeds, load)
+	if math.Abs(pr.Objective(speeds, load)-cb.TotalUSD) > 1e-12 {
+		t.Errorf("objective %v != cost %v", pr.Objective(speeds, load), cb.TotalUSD)
+	}
+}
+
+func TestSlotProblemValidate(t *testing.T) {
+	c := smallCluster()
+	good := SlotProblem{Cluster: c, LambdaRPS: 100, We: 1, Wd: 1}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid problem rejected: %v", err)
+	}
+	cases := []SlotProblem{
+		{Cluster: nil, LambdaRPS: 1},
+		{Cluster: c, LambdaRPS: -1},
+		{Cluster: c, LambdaRPS: 1, We: -1},
+		{Cluster: c, LambdaRPS: 1e9}, // beyond capacity
+		{Cluster: c, LambdaRPS: math.NaN()},
+	}
+	for i, p := range cases {
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestSlotProblemFeasibleGate(t *testing.T) {
+	c := smallCluster()
+	p := SlotProblem{Cluster: c, LambdaRPS: 150, We: 1, Wd: 1}
+	if !p.Feasible([]int{4, 4}) {
+		t.Error("all-on at top speed should be feasible for λ=150")
+	}
+	if p.Feasible([]int{4, 0}) {
+		t.Error("λ=150 on one group of 10×10 γ=0.95 (cap 95) should be infeasible")
+	}
+}
+
+func TestSolutionClone(t *testing.T) {
+	s := Solution{Speeds: []int{1, 2}, Load: []float64{3, 4}, Value: 5}
+	c := s.Clone()
+	c.Speeds[0] = 9
+	c.Load[0] = 9
+	if s.Speeds[0] != 1 || s.Load[0] != 3 {
+		t.Error("Clone aliases the original")
+	}
+	if c.Value != 5 {
+		t.Error("Clone lost value")
+	}
+}
+
+func TestObjectiveInfeasibleLoadIsInf(t *testing.T) {
+	c := smallCluster()
+	p := SlotProblem{Cluster: c, LambdaRPS: 100, We: 1, Wd: 1}
+	if v := p.Objective([]int{4, 0}, []float64{50, 50}); !math.IsInf(v, 1) {
+		t.Errorf("load on off group: objective = %v, want +Inf", v)
+	}
+}

@@ -1,0 +1,123 @@
+// Package dcmodel implements the paper's data-center model (§2): a fleet of
+// possibly heterogeneous servers with discrete DVFS speed levels, the
+// static-plus-computing power model of Eq. (1), the M/G/1/PS delay cost of
+// Eq. (4), the γ utilization cap of Eq. (7), and an optional time-varying PUE
+// factor that scales IT power into facility power.
+//
+// Units used throughout the repository:
+//   - power in kW, energy in kWh (slots are one hour, so they coincide),
+//   - arrival and service rates in requests per second (RPS),
+//   - money in dollars, electricity price in $/kWh,
+//   - delay cost in mean jobs-in-system (dimensionless; β converts to $).
+package dcmodel
+
+import (
+	"errors"
+	"fmt"
+)
+
+// SpeedLevel is one positive DVFS operating point of a server.
+type SpeedLevel struct {
+	FreqGHz float64 // nominal frequency, informational
+	BusyKW  float64 // total power when fully utilized at this level (static + computing)
+	RateRPS float64 // service rate x: requests/second processed at this level
+}
+
+// ServerType describes one homogeneous server model. Speed index 0 always
+// means "off / deep sleep" (zero speed, zero power, per the paper's
+// assumption); indices 1..K select Levels[0..K-1], which must be sorted by
+// ascending RateRPS.
+type ServerType struct {
+	Name     string
+	StaticKW float64 // p_s: idle power when on, regardless of load
+	Levels   []SpeedLevel
+}
+
+// Validate reports whether the type is well formed.
+func (st *ServerType) Validate() error {
+	if st.StaticKW < 0 {
+		return fmt.Errorf("dcmodel: %s: negative static power", st.Name)
+	}
+	if len(st.Levels) == 0 {
+		return fmt.Errorf("dcmodel: %s: no speed levels", st.Name)
+	}
+	prev := 0.0
+	for i, l := range st.Levels {
+		if l.RateRPS <= prev {
+			return fmt.Errorf("dcmodel: %s: level %d rate %v not strictly increasing", st.Name, i, l.RateRPS)
+		}
+		if l.BusyKW < st.StaticKW {
+			return fmt.Errorf("dcmodel: %s: level %d busy power %v below static %v", st.Name, i, l.BusyKW, st.StaticKW)
+		}
+		prev = l.RateRPS
+	}
+	return nil
+}
+
+// NumSpeeds returns K, the number of positive speed levels.
+func (st *ServerType) NumSpeeds() int { return len(st.Levels) }
+
+// Rate returns the service rate x at speed index k (0 = off → 0).
+// It panics on an out-of-range index.
+func (st *ServerType) Rate(k int) float64 {
+	if k == 0 {
+		return 0
+	}
+	return st.Levels[k-1].RateRPS
+}
+
+// ComputingKW returns p_c(x_k): the computing power drawn at full utilization
+// on top of the static power at speed index k (0 = off → 0).
+func (st *ServerType) ComputingKW(k int) float64 {
+	if k == 0 {
+		return 0
+	}
+	return st.Levels[k-1].BusyKW - st.StaticKW
+}
+
+// PowerKW returns the average server power of Eq. (1) at speed index k with
+// per-server arrival rate lambda: p_s + p_c(x_k)·λ/x_k for k > 0, and 0 for
+// k == 0. lambda is clamped to [0, x_k].
+func (st *ServerType) PowerKW(k int, lambda float64) float64 {
+	if k == 0 {
+		return 0
+	}
+	x := st.Rate(k)
+	if lambda < 0 {
+		lambda = 0
+	}
+	if lambda > x {
+		lambda = x
+	}
+	return st.StaticKW + st.ComputingKW(k)*lambda/x
+}
+
+// MaxRate returns the service rate at the highest speed level.
+func (st *ServerType) MaxRate() float64 { return st.Levels[len(st.Levels)-1].RateRPS }
+
+// MaxBusyKW returns the busy power at the highest speed level.
+func (st *ServerType) MaxBusyKW() float64 { return st.Levels[len(st.Levels)-1].BusyKW }
+
+// Opteron returns the paper's measured server model (§5.1): a quad-core AMD
+// Opteron 2380 profiled with PowerPack — idle 140 W, and four DVFS points
+// 0.8 GHz/184 W, 1.3 GHz/194 W, 1.8 GHz/208 W, 2.5 GHz/231 W. The service
+// rate is 10 req/s at full speed and scales linearly with frequency.
+func Opteron() ServerType {
+	const fullRate = 10.0
+	mk := func(f, w float64) SpeedLevel {
+		return SpeedLevel{FreqGHz: f, BusyKW: w / 1000, RateRPS: fullRate * f / 2.5}
+	}
+	return ServerType{
+		Name:     "opteron-2380",
+		StaticKW: 0.140,
+		Levels: []SpeedLevel{
+			mk(0.8, 184),
+			mk(1.3, 194),
+			mk(1.8, 208),
+			mk(2.5, 231),
+		},
+	}
+}
+
+// ErrBadConfig reports a malformed (speeds, load) configuration.
+var ErrBadConfig = errors.New("dcmodel: invalid configuration")

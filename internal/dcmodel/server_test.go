@@ -1,0 +1,113 @@
+package dcmodel
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestOpteronMatchesPaperNumbers(t *testing.T) {
+	st := Opteron()
+	if err := st.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if st.NumSpeeds() != 4 {
+		t.Fatalf("NumSpeeds = %d, want 4", st.NumSpeeds())
+	}
+	if st.StaticKW != 0.140 {
+		t.Errorf("static = %v kW, want 0.140", st.StaticKW)
+	}
+	wantBusyW := []float64{184, 194, 208, 231}
+	wantRate := []float64{3.2, 5.2, 7.2, 10}
+	for i, l := range st.Levels {
+		if math.Abs(l.BusyKW*1000-wantBusyW[i]) > 1e-9 {
+			t.Errorf("level %d busy = %v W, want %v", i, l.BusyKW*1000, wantBusyW[i])
+		}
+		if math.Abs(l.RateRPS-wantRate[i]) > 1e-9 {
+			t.Errorf("level %d rate = %v, want %v", i, l.RateRPS, wantRate[i])
+		}
+	}
+}
+
+func TestServerPowerModel(t *testing.T) {
+	st := Opteron()
+	// Off: zero power (paper's zero-speed assumption).
+	if p := st.PowerKW(0, 5); p != 0 {
+		t.Errorf("off power = %v", p)
+	}
+	// Idle at top speed: static only.
+	if p := st.PowerKW(4, 0); math.Abs(p-0.140) > 1e-12 {
+		t.Errorf("idle power = %v, want 0.140", p)
+	}
+	// Fully utilized at top speed: 231 W.
+	if p := st.PowerKW(4, 10); math.Abs(p-0.231) > 1e-12 {
+		t.Errorf("busy power = %v, want 0.231", p)
+	}
+	// Half utilized at top speed: 140 + 91/2 = 185.5 W.
+	if p := st.PowerKW(4, 5); math.Abs(p-0.1855) > 1e-12 {
+		t.Errorf("half-load power = %v, want 0.1855", p)
+	}
+	// Load clamped to the service rate.
+	if p := st.PowerKW(1, 99); math.Abs(p-0.184) > 1e-12 {
+		t.Errorf("over-rate power = %v, want 0.184", p)
+	}
+	if p := st.PowerKW(1, -3); math.Abs(p-0.140) > 1e-12 {
+		t.Errorf("negative-load power = %v, want 0.140", p)
+	}
+}
+
+func TestServerTypeValidateRejectsBadInputs(t *testing.T) {
+	cases := []ServerType{
+		{Name: "neg-static", StaticKW: -1, Levels: []SpeedLevel{{RateRPS: 1, BusyKW: 1}}},
+		{Name: "no-levels", StaticKW: 0.1},
+		{Name: "non-increasing", StaticKW: 0.1, Levels: []SpeedLevel{
+			{RateRPS: 2, BusyKW: 0.2}, {RateRPS: 2, BusyKW: 0.3},
+		}},
+		{Name: "busy-below-static", StaticKW: 0.5, Levels: []SpeedLevel{{RateRPS: 1, BusyKW: 0.2}}},
+	}
+	for _, st := range cases {
+		if err := st.Validate(); err == nil {
+			t.Errorf("%s: expected validation error", st.Name)
+		}
+	}
+}
+
+func TestComputingPowerAndRate(t *testing.T) {
+	st := Opteron()
+	if st.Rate(0) != 0 || st.ComputingKW(0) != 0 {
+		t.Error("speed 0 must have zero rate and power")
+	}
+	if math.Abs(st.ComputingKW(4)-0.091) > 1e-12 {
+		t.Errorf("computing power at top speed = %v, want 0.091", st.ComputingKW(4))
+	}
+	if st.MaxRate() != 10 || math.Abs(st.MaxBusyKW()-0.231) > 1e-12 {
+		t.Errorf("MaxRate/MaxBusyKW = %v/%v", st.MaxRate(), st.MaxBusyKW())
+	}
+}
+
+func TestPowerMonotoneInLoadProperty(t *testing.T) {
+	st := Opteron()
+	f := func(k8 uint8, a, b float64) bool {
+		k := int(k8)%st.NumSpeeds() + 1
+		a = math.Mod(math.Abs(a), st.Rate(k))
+		b = math.Mod(math.Abs(b), st.Rate(k))
+		if a > b {
+			a, b = b, a
+		}
+		return st.PowerKW(k, a) <= st.PowerKW(k, b)+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPowerMonotoneInSpeedAtFullLoadProperty(t *testing.T) {
+	// At equal load, a faster speed costs at least as much static+computing
+	// headroom when fully loaded; check busy powers are increasing.
+	st := Opteron()
+	for k := 1; k < st.NumSpeeds(); k++ {
+		if st.Levels[k].BusyKW <= st.Levels[k-1].BusyKW {
+			t.Errorf("busy power not increasing at level %d", k)
+		}
+	}
+}

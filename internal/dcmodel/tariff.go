@@ -1,0 +1,113 @@
+package dcmodel
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Tariff generalizes the electricity cost of Eq. (3) beyond the linear
+// w(t)·[p − r]^+ form: §2.1 notes the analysis "can also model other
+// electricity cost functions such as nonlinear convex functions (e.g., the
+// data center is charged at a higher price if it consumes more power)".
+//
+// A Tariff maps one slot's grid energy (kWh) to a *multiplier profile*:
+// the realized electricity cost is w(t) · Energy-weighted multiplier, so
+// the hourly market price still sets the level while the tariff shapes the
+// escalation. Implementations must be convex (non-decreasing marginals)
+// for the per-slot solvers to remain exact.
+type Tariff interface {
+	// Cost returns the multiplier-weighted energy for a slot's grid draw;
+	// the dollar cost is w(t)·Cost(grid).
+	Cost(gridKWh float64) float64
+	// Marginal returns d(Cost)/d(grid) at the given draw.
+	Marginal(gridKWh float64) float64
+}
+
+// FlatTariff is the paper's default linear tariff: Cost(g) = g.
+type FlatTariff struct{}
+
+// Cost implements Tariff.
+func (FlatTariff) Cost(g float64) float64 { return math.Max(0, g) }
+
+// Marginal implements Tariff.
+func (FlatTariff) Marginal(float64) float64 { return 1 }
+
+// Tier is one block of a tiered (inclining-block) tariff: energy beyond
+// the previous tier boundary and up to UpToKWh is charged at Mult times
+// the market price.
+type Tier struct {
+	UpToKWh float64 // inclusive upper boundary; +Inf for the last tier
+	Mult    float64 // price multiplier within this block
+}
+
+// TieredTariff is an inclining-block tariff — the canonical convex
+// nonlinear electricity cost ("charged at a higher price if it consumes
+// more power").
+type TieredTariff struct {
+	Tiers []Tier
+}
+
+// NewTieredTariff validates and returns a tiered tariff. Boundaries must be
+// strictly increasing, multipliers positive and non-decreasing (convexity),
+// and the last tier unbounded.
+func NewTieredTariff(tiers []Tier) (*TieredTariff, error) {
+	if len(tiers) == 0 {
+		return nil, fmt.Errorf("dcmodel: tariff needs at least one tier")
+	}
+	prevUp, prevMult := 0.0, 0.0
+	for i, t := range tiers {
+		if t.Mult <= 0 {
+			return nil, fmt.Errorf("dcmodel: tier %d multiplier %v must be positive", i, t.Mult)
+		}
+		if t.Mult < prevMult {
+			return nil, fmt.Errorf("dcmodel: tier %d multiplier %v decreases (non-convex)", i, t.Mult)
+		}
+		if i < len(tiers)-1 {
+			if t.UpToKWh <= prevUp {
+				return nil, fmt.Errorf("dcmodel: tier %d boundary %v not increasing", i, t.UpToKWh)
+			}
+			prevUp = t.UpToKWh
+		} else if !math.IsInf(t.UpToKWh, 1) {
+			return nil, fmt.Errorf("dcmodel: last tier must be unbounded (+Inf)")
+		}
+		prevMult = t.Mult
+	}
+	return &TieredTariff{Tiers: tiers}, nil
+}
+
+// Cost implements Tariff.
+func (t *TieredTariff) Cost(g float64) float64 {
+	if g <= 0 {
+		return 0
+	}
+	var cost, lower float64
+	for _, tier := range t.Tiers {
+		upper := math.Min(g, tier.UpToKWh)
+		if upper > lower {
+			cost += (upper - lower) * tier.Mult
+			lower = upper
+		}
+		if g <= tier.UpToKWh {
+			break
+		}
+	}
+	return cost
+}
+
+// Marginal implements Tariff.
+func (t *TieredTariff) Marginal(g float64) float64 {
+	if g < 0 {
+		g = 0
+	}
+	i := sort.Search(len(t.Tiers), func(i int) bool { return g < t.Tiers[i].UpToKWh })
+	if i == len(t.Tiers) {
+		i--
+	}
+	return t.Tiers[i].Mult
+}
+
+var (
+	_ Tariff = FlatTariff{}
+	_ Tariff = (*TieredTariff)(nil)
+)

@@ -1,0 +1,102 @@
+package dcmodel
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func mustTiered(t *testing.T, tiers []Tier) *TieredTariff {
+	t.Helper()
+	tt, err := NewTieredTariff(tiers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tt
+}
+
+func TestFlatTariff(t *testing.T) {
+	var f FlatTariff
+	if f.Cost(5) != 5 || f.Cost(-1) != 0 || f.Marginal(100) != 1 {
+		t.Error("flat tariff wrong")
+	}
+}
+
+func TestTieredTariffCost(t *testing.T) {
+	tt := mustTiered(t, []Tier{
+		{UpToKWh: 10, Mult: 1},
+		{UpToKWh: 20, Mult: 2},
+		{UpToKWh: math.Inf(1), Mult: 4},
+	})
+	cases := map[float64]float64{
+		0:  0,
+		5:  5,
+		10: 10,
+		15: 10 + 2*5,
+		20: 10 + 2*10,
+		25: 10 + 20 + 4*5,
+		-3: 0,
+	}
+	for g, want := range cases {
+		if got := tt.Cost(g); math.Abs(got-want) > 1e-12 {
+			t.Errorf("Cost(%v) = %v, want %v", g, got, want)
+		}
+	}
+}
+
+func TestTieredTariffMarginal(t *testing.T) {
+	tt := mustTiered(t, []Tier{
+		{UpToKWh: 10, Mult: 1},
+		{UpToKWh: math.Inf(1), Mult: 3},
+	})
+	if tt.Marginal(5) != 1 || tt.Marginal(10) != 3 || tt.Marginal(100) != 3 {
+		t.Errorf("marginals wrong: %v %v %v", tt.Marginal(5), tt.Marginal(10), tt.Marginal(100))
+	}
+	if tt.Marginal(-1) != 1 {
+		t.Error("negative draw should use the first tier")
+	}
+}
+
+func TestTieredTariffValidation(t *testing.T) {
+	bad := [][]Tier{
+		nil,
+		{{UpToKWh: math.Inf(1), Mult: 0}}, // non-positive mult
+		{{UpToKWh: 10, Mult: 2}, {UpToKWh: math.Inf(1), Mult: 1}},                        // decreasing mult
+		{{UpToKWh: 10, Mult: 1}, {UpToKWh: 5, Mult: 2}, {UpToKWh: math.Inf(1), Mult: 3}}, // boundary not increasing
+		{{UpToKWh: 10, Mult: 1}}, // last tier bounded
+	}
+	for i, tiers := range bad {
+		if _, err := NewTieredTariff(tiers); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestTieredTariffConvexProperty(t *testing.T) {
+	// Convexity: Cost(midpoint) ≤ mean of endpoint costs; marginal
+	// non-decreasing; Cost continuous and non-decreasing.
+	tt := mustTiered(t, []Tier{
+		{UpToKWh: 50, Mult: 1},
+		{UpToKWh: 120, Mult: 1.8},
+		{UpToKWh: math.Inf(1), Mult: 3.5},
+	})
+	f := func(rawA, rawB float64) bool {
+		a := math.Mod(math.Abs(rawA), 300)
+		b := math.Mod(math.Abs(rawB), 300)
+		if math.IsNaN(a) || math.IsNaN(b) {
+			return true
+		}
+		mid := (a + b) / 2
+		if tt.Cost(mid) > (tt.Cost(a)+tt.Cost(b))/2+1e-9 {
+			return false
+		}
+		lo, hi := math.Min(a, b), math.Max(a, b)
+		if tt.Cost(lo) > tt.Cost(hi)+1e-9 {
+			return false
+		}
+		return tt.Marginal(lo) <= tt.Marginal(hi)+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

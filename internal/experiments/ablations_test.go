@@ -1,0 +1,113 @@
+package experiments
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestCappingStudy(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := smallConfig()
+	cfg.Out = &buf
+	res, err := Capping(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.CocaUnderCap {
+		t.Errorf("COCA exceeded the cap: %v", res.CocaUsage)
+	}
+	if res.UnawareUsage <= 1 {
+		t.Errorf("unaware within the cap (%v) — cap not binding", res.UnawareUsage)
+	}
+	if res.CostPremium < 1 {
+		t.Errorf("capped COCA cheaper than unconstrained: %v", res.CostPremium)
+	}
+	if res.CostPremium > 1.25 {
+		t.Errorf("capping premium implausibly large: %v", res.CostPremium)
+	}
+	if !strings.Contains(buf.String(), "Energy capping") {
+		t.Error("report missing")
+	}
+}
+
+func TestLookaheadSweepMonotone(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Out = io.Discard
+	points, cocaCost, err := LookaheadSweep(cfg, []int{24, 56, 168, 336})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) < 3 {
+		t.Fatalf("too few valid windows: %d", len(points))
+	}
+	for i := 1; i < len(points); i++ {
+		if points[i].MeanFrameG > points[i-1].MeanFrameG*(1+1e-6) {
+			t.Errorf("mean G_r* increased with T: %v → %v at T=%d",
+				points[i-1].MeanFrameG, points[i].MeanFrameG, points[i].T)
+		}
+	}
+	// Theorem 2: COCA's measured cost below each bound.
+	for _, p := range points {
+		if cocaCost > p.CostBound {
+			t.Errorf("T=%d: measured %v above the Eq. (20) bound %v", p.T, cocaCost, p.CostBound)
+		}
+	}
+}
+
+func TestFrameResetAblation(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Out = io.Discard
+	res, err := FrameResetAblation(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.WithResets.Slots == 0 || res.WithoutResets.Slots == 0 {
+		t.Fatal("ablation did not run")
+	}
+	// Without resets, deficit accumulated under the early tiny V keeps
+	// throttling later frames: usage can only be lower or equal.
+	if res.WithoutResets.TotalGridKWh > res.WithResets.TotalGridKWh*(1+1e-6) {
+		t.Errorf("never-reset used more energy (%v) than with resets (%v)",
+			res.WithoutResets.TotalGridKWh, res.WithResets.TotalGridKWh)
+	}
+}
+
+func TestTariffStudy(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Out = io.Discard
+	res, err := TariffStudy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The inclining-block tariff can only raise the dollar cost…
+	if res.Tiered.AvgHourlyCostUSD < res.Flat.AvgHourlyCostUSD*(1-1e-9) {
+		t.Errorf("tiered cost %v below flat %v", res.Tiered.AvgHourlyCostUSD, res.Flat.AvgHourlyCostUSD)
+	}
+	// …and should flatten the peaks.
+	if res.PeakGridTiered > res.PeakGridFlat*(1+1e-9) {
+		t.Errorf("tiered peak %v above flat peak %v", res.PeakGridTiered, res.PeakGridFlat)
+	}
+}
+
+func TestGreenBatch(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Out = io.Discard
+	res, err := GreenBatch(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SpareServerHours <= 0 {
+		t.Fatal("no spare capacity")
+	}
+	if res.ServedHours <= 0 || res.ServedHours > res.SpareServerHours {
+		t.Errorf("served %v of %v spare", res.ServedHours, res.SpareServerHours)
+	}
+	if res.CompletionRate < 0.5 {
+		t.Errorf("completion rate %v too low for a stream sized to a third of spare", res.CompletionRate)
+	}
+	if res.BatchEnergyKWh <= 0 {
+		t.Error("no batch energy accounted")
+	}
+}

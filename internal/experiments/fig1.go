@@ -1,0 +1,60 @@
+package experiments
+
+import (
+	"repro/internal/report"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// Fig1Result reproduces Fig. 1: the normalized workload traces.
+type Fig1Result struct {
+	// FIUJuly is the normalized FIU-like trace for July (Fig. 1a plots the
+	// July 2012 window where the summer surge begins).
+	FIUJuly []float64
+	// MSRWeek is the normalized one-week MSR-like trace (Fig. 1b).
+	MSRWeek []float64
+	// Monthly mean of the normalized FIU year, to quantify the seasonal
+	// shape (including the late-July step).
+	FIUMonthlyMean []float64
+}
+
+// Fig1 synthesizes and characterizes the two workload traces.
+func Fig1(cfg Config) (Fig1Result, error) {
+	cfg.fill()
+	fiu := trace.FIUYear(cfg.Seed)
+	msr := trace.MSRWeek(cfg.Seed)
+
+	var res Fig1Result
+	// July = days 181..211 (Jul 1 is day 181 in a non-leap synthetic year).
+	res.FIUJuly = fiu.Slice(181*24, 212*24).Values
+	res.MSRWeek = append([]float64(nil), msr.Values...)
+
+	days := []int{0, 31, 59, 90, 120, 151, 181, 212, 243, 273, 304, 334, 365}
+	for m := 0; m < 12; m++ {
+		res.FIUMonthlyMean = append(res.FIUMonthlyMean,
+			stats.Mean(fiu.Values[days[m]*24:days[m+1]*24]))
+	}
+
+	if cfg.Out != nil {
+		t := report.NewTable("Fig 1(a): FIU-like workload, monthly mean of normalized arrival rate",
+			"month", "mean", "note")
+		names := []string{"Jan", "Feb", "Mar", "Apr", "May", "Jun", "Jul", "Aug", "Sep", "Oct", "Nov", "Dec"}
+		for m, v := range res.FIUMonthlyMean {
+			note := ""
+			if m == 6 {
+				note = "late-July surge begins (paper Fig. 1a)"
+			}
+			t.AddRow(names[m], v, note)
+		}
+		if err := t.Render(cfg.Out); err != nil {
+			return res, err
+		}
+		if err := report.Chart(cfg.Out, "Fig 1(a): FIU-like trace, July (normalized)", res.FIUJuly, 72, 10); err != nil {
+			return res, err
+		}
+		if err := report.Chart(cfg.Out, "Fig 1(b): MSR-like trace, one week (normalized)", res.MSRWeek, 72, 10); err != nil {
+			return res, err
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/baseline"
+	"repro/internal/report"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// Fig3Result reproduces Fig. 3: COCA versus the prediction-based PerfectHP.
+type Fig3Result struct {
+	CocaV       float64 // neutral operating point chosen by TuneV
+	Coca        sim.Summary
+	PerfectHP   sim.Summary
+	SavingFrac  float64 // (PHP − COCA)/PHP on average hourly cost; paper: > 0.25
+	CocaNeutral bool    // COCA within budget
+
+	// Running averages ("summing from time 0 to t, divided by t+1").
+	RunningCostCoca    []float64
+	RunningCostPHP     []float64
+	RunningDeficitCoca []float64
+	RunningDeficitPHP  []float64
+}
+
+// Fig3 runs the head-to-head comparison of §5.2.2.
+func Fig3(cfg Config) (Fig3Result, error) {
+	cfg.fill()
+	sc, _, err := cfg.Scenario(false)
+	if err != nil {
+		return Fig3Result{}, err
+	}
+	var res Fig3Result
+	res.CocaV, res.Coca, err = TuneV(sc, cfg.VGrid)
+	if err != nil {
+		return res, err
+	}
+	res.CocaNeutral = res.Coca.BudgetUsedFraction <= 1.0
+	_, cocaRun, err := runCOCA(sc, res.CocaV)
+	if err != nil {
+		return res, err
+	}
+
+	php, err := baseline.NewPerfectHP(sc, 48)
+	if err != nil {
+		return res, err
+	}
+	phpRun, err := sim.Run(sc, php)
+	if err != nil {
+		return res, err
+	}
+	res.PerfectHP = sim.Summarize(sc, phpRun)
+	res.SavingFrac = (res.PerfectHP.AvgHourlyCostUSD - res.Coca.AvgHourlyCostUSD) /
+		res.PerfectHP.AvgHourlyCostUSD
+
+	res.RunningCostCoca = stats.RunningAverageSeries(cocaRun.CostSeries())
+	res.RunningCostPHP = stats.RunningAverageSeries(phpRun.CostSeries())
+	res.RunningDeficitCoca = stats.RunningAverageSeries(cocaRun.DeficitSeries())
+	res.RunningDeficitPHP = stats.RunningAverageSeries(phpRun.DeficitSeries())
+
+	if cfg.Out != nil {
+		t := report.NewTable("Fig 3: COCA vs PerfectHP (48-h perfect hourly prediction)",
+			"policy", "avg hourly cost ($)", "electricity ($)", "delay ($)", "grid/budget")
+		t.AddRow(fmt.Sprintf("COCA (V=%.3g)", res.CocaV),
+			res.Coca.AvgHourlyCostUSD, res.Coca.AvgElectricityUSD, res.Coca.AvgDelayUSD,
+			res.Coca.BudgetUsedFraction)
+		t.AddRow("PerfectHP", res.PerfectHP.AvgHourlyCostUSD, res.PerfectHP.AvgElectricityUSD,
+			res.PerfectHP.AvgDelayUSD, res.PerfectHP.BudgetUsedFraction)
+		if err := t.Render(cfg.Out); err != nil {
+			return res, err
+		}
+		cfg.printf("COCA cost saving vs PerfectHP: %.1f%% (paper: > 25%%)\n", res.SavingFrac*100)
+		if err := report.Chart(cfg.Out, "Fig 3(a): running avg hourly cost — COCA", res.RunningCostCoca, 72, 8); err != nil {
+			return res, err
+		}
+		if err := report.Chart(cfg.Out, "Fig 3(a): running avg hourly cost — PerfectHP", res.RunningCostPHP, 72, 8); err != nil {
+			return res, err
+		}
+		if err := report.Chart(cfg.Out, "Fig 3(b): running avg carbon deficit — COCA", res.RunningDeficitCoca, 72, 8); err != nil {
+			return res, err
+		}
+		if err := report.Chart(cfg.Out, "Fig 3(b): running avg carbon deficit — PerfectHP", res.RunningDeficitPHP, 72, 8); err != nil {
+			return res, err
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,225 @@
+package experiments
+
+import (
+	"repro/internal/baseline"
+	"repro/internal/renewable"
+	"repro/internal/report"
+	"repro/internal/sim"
+)
+
+// Fig5BudgetPoint is one carbon budget of the Fig. 5(a,b) sweep; costs are
+// normalized by the carbon-unaware average cost.
+type Fig5BudgetPoint struct {
+	BudgetFrac  float64 // budget / unaware usage
+	CocaCost    float64 // normalized
+	OptCost     float64 // normalized
+	UnawareCost float64 // 1 by construction
+	CocaNeutral bool
+}
+
+// Fig5Result reproduces the Fig. 5 sensitivity studies.
+type Fig5Result struct {
+	BudgetSweepFIU []Fig5BudgetPoint // Fig. 5(a)
+	BudgetSweepMSR []Fig5BudgetPoint // Fig. 5(b)
+
+	// Fig. 5(c): workload overestimation φ → normalized cost (vs φ=1).
+	OverestimateFactors []float64
+	OverestimateCost    []float64
+
+	// Fig. 5(d): switching cost (fraction of 0.231 kWh) → normalized cost.
+	SwitchFractions []float64
+	SwitchCost      []float64
+}
+
+// Fig5 runs the four sensitivity studies of §5.2.4.
+func Fig5(cfg Config) (Fig5Result, error) {
+	cfg.fill()
+	var res Fig5Result
+	var err error
+	res.BudgetSweepFIU, err = budgetSweep(cfg, false)
+	if err != nil {
+		return res, err
+	}
+	res.BudgetSweepMSR, err = budgetSweep(cfg, true)
+	if err != nil {
+		return res, err
+	}
+	if res.OverestimateFactors, res.OverestimateCost, err = overestimateSweep(cfg); err != nil {
+		return res, err
+	}
+	if res.SwitchFractions, res.SwitchCost, err = switchSweep(cfg); err != nil {
+		return res, err
+	}
+
+	if cfg.Out != nil {
+		for i, sweep := range [][]Fig5BudgetPoint{res.BudgetSweepFIU, res.BudgetSweepMSR} {
+			title := "Fig 5(a): normalized avg cost vs carbon budget (FIU-like workload)"
+			if i == 1 {
+				title = "Fig 5(b): normalized avg cost vs carbon budget (MSR-like workload)"
+			}
+			t := report.NewTable(title, "budget", "COCA", "OPT", "carbon-unaware", "COCA neutral")
+			for _, p := range sweep {
+				t.AddRow(p.BudgetFrac, p.CocaCost, p.OptCost, p.UnawareCost, p.CocaNeutral)
+			}
+			if err := t.Render(cfg.Out); err != nil {
+				return res, err
+			}
+		}
+		t := report.NewTable("Fig 5(c): workload overestimation", "phi", "normalized cost")
+		for i := range res.OverestimateFactors {
+			t.AddRow(res.OverestimateFactors[i], res.OverestimateCost[i])
+		}
+		if err := t.Render(cfg.Out); err != nil {
+			return res, err
+		}
+		t = report.NewTable("Fig 5(d): switching cost", "fraction of 0.231 kWh", "normalized cost")
+		for i := range res.SwitchFractions {
+			t.AddRow(res.SwitchFractions[i], res.SwitchCost[i])
+		}
+		if err := t.Render(cfg.Out); err != nil {
+			return res, err
+		}
+	}
+	return res, nil
+}
+
+// budgetSweep reruns calibration at several budget fractions and compares
+// COCA, OPT and the carbon-unaware algorithm, normalizing by the unaware
+// cost (the paper normalizes usage by the unaware algorithm's 1.55e5 MWh).
+func budgetSweep(cfg Config, msr bool) ([]Fig5BudgetPoint, error) {
+	fracs := []float64{0.85, 0.90, 0.92, 0.95, 1.00, 1.05}
+	out := make([]Fig5BudgetPoint, 0, len(fracs))
+	for _, frac := range fracs {
+		c := cfg
+		c.Budget = frac
+		c.Out = nil
+		sc, _, err := c.Scenario(msr)
+		if err != nil {
+			return nil, err
+		}
+		un := baseline.NewUnaware(sc)
+		unRes, err := sim.Run(sc, un)
+		if err != nil {
+			return nil, err
+		}
+		unSum := sim.Summarize(sc, unRes)
+
+		_, cocaSum, err := TuneV(sc, c.VGrid)
+		if err != nil {
+			return nil, err
+		}
+		opt, err := baseline.NewOPT(sc)
+		if err != nil {
+			return nil, err
+		}
+		optRes, err := sim.Run(sc, opt)
+		if err != nil {
+			return nil, err
+		}
+		optSum := sim.Summarize(sc, optRes)
+		out = append(out, Fig5BudgetPoint{
+			BudgetFrac:  frac,
+			CocaCost:    cocaSum.AvgHourlyCostUSD / unSum.AvgHourlyCostUSD,
+			OptCost:     optSum.AvgHourlyCostUSD / unSum.AvgHourlyCostUSD,
+			UnawareCost: 1,
+			CocaNeutral: cocaSum.BudgetUsedFraction <= 1.0,
+		})
+	}
+	return out, nil
+}
+
+// overestimateSweep measures the Fig. 5(c) robustness: COCA decides against
+// φ·λ(t) but is charged against the true λ(t).
+func overestimateSweep(cfg Config) ([]float64, []float64, error) {
+	factors := []float64{1.0, 1.05, 1.10, 1.15, 1.20}
+	sc, _, err := cfg.Scenario(false)
+	if err != nil {
+		return nil, nil, err
+	}
+	v, _, err := TuneV(sc, cfg.VGrid)
+	if err != nil {
+		return nil, nil, err
+	}
+	costs := make([]float64, 0, len(factors))
+	var base float64
+	for i, phi := range factors {
+		sc.Overestimate = phi
+		s, _, err := runCOCA(sc, v)
+		if err != nil {
+			return nil, nil, err
+		}
+		if i == 0 {
+			base = s.AvgHourlyCostUSD
+		}
+		costs = append(costs, s.AvgHourlyCostUSD/base)
+	}
+	sc.Overestimate = 0
+	return factors, costs, nil
+}
+
+// switchSweep measures the Fig. 5(d) robustness: switching cost as a
+// fraction of a server's maximum hourly energy (0.231 kWh), internalized by
+// COCA and charged by the engine.
+func switchSweep(cfg Config) ([]float64, []float64, error) {
+	fractions := []float64{0, 0.02, 0.04, 0.06, 0.08, 0.10}
+	sc, _, err := cfg.Scenario(false)
+	if err != nil {
+		return nil, nil, err
+	}
+	maxEnergy := sc.Server.MaxBusyKW() // 0.231 kWh per hour at full speed
+	v, _, err := TuneV(sc, cfg.VGrid)
+	if err != nil {
+		return nil, nil, err
+	}
+	costs := make([]float64, 0, len(fractions))
+	var base float64
+	for i, f := range fractions {
+		sc.SwitchCostKWh = f * maxEnergy
+		s, _, err := runCOCA(sc, v)
+		if err != nil {
+			return nil, nil, err
+		}
+		if i == 0 {
+			base = s.AvgHourlyCostUSD
+		}
+		costs = append(costs, s.AvgHourlyCostUSD/base)
+	}
+	sc.SwitchCostKWh = 0
+	return fractions, costs, nil
+}
+
+// PortfolioMixStudy verifies the §5.2.4 note that COCA is insensitive to
+// the off-site/REC split with the total budget held fixed (the paper
+// reports < 1% change). It returns the normalized cost at each off-site
+// share.
+func PortfolioMixStudy(cfg Config) ([]float64, []float64, error) {
+	cfg.fill()
+	shares := []float64{0.0, 0.2, 0.4, 0.6, 0.8}
+	sc, refGrid, err := cfg.Scenario(false)
+	if err != nil {
+		return nil, nil, err
+	}
+	v, _, err := TuneV(sc, cfg.VGrid)
+	if err != nil {
+		return nil, nil, err
+	}
+	budget := cfg.Budget * refGrid
+	pristine := sc.Portfolio.OffsiteKWh.Copy()
+	costs := make([]float64, 0, len(shares))
+	var base float64
+	for i, share := range shares {
+		offsite := pristine.Copy()
+		renewable.ScaleToTotal(offsite, sc.Slots, share*budget)
+		sc.Portfolio.OffsiteKWh = offsite
+		sc.Portfolio.RECsKWh = (1 - share) * budget
+		s, _, err := runCOCA(sc, v)
+		if err != nil {
+			return nil, nil, err
+		}
+		if i == 0 {
+			base = s.AvgHourlyCostUSD
+		}
+		costs = append(costs, s.AvgHourlyCostUSD/base)
+	}
+	return shares, costs, nil
+}

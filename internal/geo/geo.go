@@ -1,0 +1,262 @@
+// Package geo extends COCA to geographically distributed data centers —
+// the multi-site setting of the related work the paper builds on
+// (geographical load balancing, refs [21][29][32] of the paper). A global
+// load distributor splits each slot's arrivals across sites with different
+// electricity prices, on-site renewables and carbon budgets; every site
+// runs its own carbon-deficit queue, so the split is steered toward sites
+// that are currently cheap *and* carbon-underspent.
+//
+// The per-slot problem separates: given a split (μ_1..μ_K), site k's cost
+// is its own P3 optimum at load μ_k, a convex non-decreasing function of
+// μ_k (minimum of convex costs with nested feasible sets). The split is
+// computed by greedy marginal allocation in load chunks — optimal for
+// convex per-site costs up to the chunk discretization.
+package geo
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/dcmodel"
+	"repro/internal/lyapunov"
+	"repro/internal/p3"
+	"repro/internal/renewable"
+	"repro/internal/trace"
+)
+
+// Site is one data center in the federation.
+type Site struct {
+	Name   string
+	Server dcmodel.ServerType
+	N      int
+	Gamma  float64
+	PUE    float64
+
+	Price     *trace.Trace         // w_k(t) in $/kWh
+	Portfolio *renewable.Portfolio // r_k(t), f_k(t), Z_k, α_k
+}
+
+// Validate reports whether the site is well formed for the horizon.
+func (s *Site) Validate(slots int) error {
+	if err := s.Server.Validate(); err != nil {
+		return err
+	}
+	if s.N <= 0 {
+		return fmt.Errorf("geo: site %q fleet %d", s.Name, s.N)
+	}
+	if s.Gamma <= 0 || s.Gamma >= 1 {
+		return fmt.Errorf("geo: site %q gamma %v", s.Name, s.Gamma)
+	}
+	if s.PUE < 1 {
+		return fmt.Errorf("geo: site %q PUE %v", s.Name, s.PUE)
+	}
+	if s.Price == nil || s.Price.Len() < slots {
+		return fmt.Errorf("geo: site %q price trace short", s.Name)
+	}
+	if s.Portfolio == nil {
+		return fmt.Errorf("geo: site %q missing portfolio", s.Name)
+	}
+	return s.Portfolio.Validate(slots)
+}
+
+// CapacityRPS returns the site's γ-discounted top-speed capacity.
+func (s *Site) CapacityRPS() float64 {
+	return s.Gamma * float64(s.N) * s.Server.MaxRate()
+}
+
+// System is a federation of sites under one global workload.
+type System struct {
+	Sites []Site
+	Beta  float64
+	Slots int
+
+	queues []*lyapunov.DeficitQueue
+	slot   int
+}
+
+// NewSystem validates and assembles the federation, creating one
+// carbon-deficit queue per site.
+func NewSystem(sites []Site, beta float64, slots int) (*System, error) {
+	if len(sites) == 0 {
+		return nil, errors.New("geo: no sites")
+	}
+	if beta < 0 {
+		return nil, errors.New("geo: negative beta")
+	}
+	if slots <= 0 {
+		return nil, errors.New("geo: non-positive horizon")
+	}
+	sys := &System{Sites: sites, Beta: beta, Slots: slots}
+	for i := range sites {
+		if err := sites[i].Validate(slots); err != nil {
+			return nil, err
+		}
+		sys.queues = append(sys.queues, lyapunov.NewDeficitQueue(
+			sites[i].Portfolio.Alpha,
+			sites[i].Portfolio.RECPerSlotKWh(slots),
+		))
+	}
+	return sys, nil
+}
+
+// TotalCapacityRPS returns the federation's aggregate capacity.
+func (sys *System) TotalCapacityRPS() float64 {
+	var c float64
+	for i := range sys.Sites {
+		c += sys.Sites[i].CapacityRPS()
+	}
+	return c
+}
+
+// Queue exposes site k's deficit-queue length.
+func (sys *System) Queue(k int) float64 { return sys.queues[k].Len() }
+
+// Slot returns the next slot to be stepped.
+func (sys *System) Slot() int { return sys.slot }
+
+// SiteOutcome is one site's share of a stepped slot.
+type SiteOutcome struct {
+	LoadRPS   float64
+	Speed     int
+	Active    int
+	PowerKW   float64
+	GridKWh   float64
+	DelayCost float64
+	CostUSD   float64 // w_k·grid + β·delay
+}
+
+// StepOutcome is a stepped slot across the federation.
+type StepOutcome struct {
+	Sites        []SiteOutcome
+	TotalCostUSD float64
+	TotalGridKWh float64
+}
+
+// siteProblem builds site k's P3 instance for the slot at load mu.
+func (sys *System) siteProblem(k int, v, mu float64) *p3.HomogeneousProblem {
+	site := &sys.Sites[k]
+	t := sys.slot
+	we, wd := dcmodel.P3Weights(v, sys.queues[k].Len(), site.Price.Values[t], sys.Beta)
+	return &p3.HomogeneousProblem{
+		Type: site.Server, N: site.N,
+		Gamma: site.Gamma, PUE: site.PUE,
+		LambdaRPS: mu,
+		We:        we, Wd: wd,
+		OnsiteKW: site.Portfolio.OnsiteKW.Values[t],
+	}
+}
+
+// siteValue returns site k's P3 optimum value at load mu (+Inf when the
+// site cannot carry mu).
+func (sys *System) siteValue(k int, v, mu float64) float64 {
+	if mu == 0 {
+		// An empty site powers down: zero P3 value.
+		return 0
+	}
+	sol, err := sys.siteProblem(k, v, mu).Solve()
+	if err != nil {
+		return math.Inf(1)
+	}
+	return sol.Value
+}
+
+// Chunks is the load-split granularity of Step: the slot's arrivals are
+// allocated in λ/Chunks increments by greedy marginal cost.
+const Chunks = 100
+
+// Step distributes lambda across the sites minimizing the federation's P3
+// objective Σ_k [V·g_k + q_k·y_k], operates each site, and returns the
+// outcome. Call Settle with the realized off-site generation afterwards.
+func (sys *System) Step(lambda float64, v float64) (StepOutcome, error) {
+	if sys.slot >= sys.Slots {
+		return StepOutcome{}, errors.New("geo: horizon exhausted")
+	}
+	if lambda < 0 {
+		return StepOutcome{}, errors.New("geo: negative load")
+	}
+	if lambda > sys.TotalCapacityRPS() {
+		return StepOutcome{}, fmt.Errorf("geo: load %v exceeds federation capacity %v",
+			lambda, sys.TotalCapacityRPS())
+	}
+	k := len(sys.Sites)
+	split := make([]float64, k)
+	if lambda > 0 {
+		chunk := lambda / Chunks
+		cur := make([]float64, k) // current site values
+		for c := 0; c < Chunks; c++ {
+			best := -1
+			bestDelta := math.Inf(1)
+			for i := 0; i < k; i++ {
+				if split[i]+chunk > sys.Sites[i].CapacityRPS() {
+					continue
+				}
+				delta := sys.siteValue(i, v, split[i]+chunk) - cur[i]
+				if delta < bestDelta {
+					best, bestDelta = i, delta
+				}
+			}
+			if best < 0 {
+				return StepOutcome{}, errors.New("geo: no site can absorb the next chunk")
+			}
+			split[best] += chunk
+			cur[best] += bestDelta
+		}
+	}
+	out := StepOutcome{Sites: make([]SiteOutcome, k)}
+	for i := 0; i < k; i++ {
+		so := SiteOutcome{LoadRPS: split[i]}
+		if split[i] > 0 {
+			sol, err := sys.siteProblem(i, v, split[i]).Solve()
+			if err != nil {
+				return StepOutcome{}, fmt.Errorf("geo: site %s: %w", sys.Sites[i].Name, err)
+			}
+			so.Speed, so.Active = sol.Speed, sol.Active
+			so.PowerKW, so.GridKWh, so.DelayCost = sol.PowerKW, sol.GridKWh, sol.DelayCost
+			so.CostUSD = sys.Sites[i].Price.Values[sys.slot]*sol.GridKWh + sys.Beta*sol.DelayCost
+		}
+		out.Sites[i] = so
+		out.TotalCostUSD += so.CostUSD
+		out.TotalGridKWh += so.GridKWh
+	}
+	return out, nil
+}
+
+// Settle finishes the slot: every site's deficit queue absorbs its
+// realized grid draw against its own off-site generation, and the clock
+// advances.
+func (sys *System) Settle(out StepOutcome) {
+	t := sys.slot
+	for i := range sys.Sites {
+		sys.queues[i].Update(out.Sites[i].GridKWh, sys.Sites[i].Portfolio.OffsiteKWh.Values[t])
+	}
+	sys.slot++
+}
+
+// ProportionalSplit is the carbon- and price-blind baseline: load shares
+// proportional to site capacity. It returns the same outcome structure so
+// runs are directly comparable.
+func (sys *System) ProportionalSplit(lambda float64, v float64) (StepOutcome, error) {
+	if lambda > sys.TotalCapacityRPS() {
+		return StepOutcome{}, errors.New("geo: load exceeds capacity")
+	}
+	total := sys.TotalCapacityRPS()
+	out := StepOutcome{Sites: make([]SiteOutcome, len(sys.Sites))}
+	for i := range sys.Sites {
+		mu := lambda * sys.Sites[i].CapacityRPS() / total
+		so := SiteOutcome{LoadRPS: mu}
+		if mu > 0 {
+			sol, err := sys.siteProblem(i, v, mu).Solve()
+			if err != nil {
+				return StepOutcome{}, err
+			}
+			so.Speed, so.Active = sol.Speed, sol.Active
+			so.PowerKW, so.GridKWh, so.DelayCost = sol.PowerKW, sol.GridKWh, sol.DelayCost
+			so.CostUSD = sys.Sites[i].Price.Values[sys.slot]*sol.GridKWh + sys.Beta*sol.DelayCost
+		}
+		out.Sites[i] = so
+		out.TotalCostUSD += so.CostUSD
+		out.TotalGridKWh += so.GridKWh
+	}
+	return out, nil
+}

@@ -1,0 +1,79 @@
+package gsd
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/p3"
+)
+
+func TestDistributedProducesFeasibleSolution(t *testing.T) {
+	p := smallProblem(4, 60)
+	res, err := SolveDistributed(p, Options{Delta: 1e5, MaxIters: 300, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Cluster.CheckConfig(res.Solution.Speeds, res.Solution.Load); err != nil {
+		t.Fatalf("infeasible: %v", err)
+	}
+	var sum float64
+	for _, l := range res.Solution.Load {
+		sum += l
+	}
+	if math.Abs(sum-60) > 1e-3 {
+		t.Errorf("Σload = %v, want 60", sum)
+	}
+}
+
+func TestDistributedReachesOptimum(t *testing.T) {
+	p := smallProblem(3, 50)
+	exact, err := p3.Enumerate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := SolveDistributed(p, Options{Delta: 1e6, MaxIters: 1500, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Solution.Value > exact.Value*(1+5e-3)+1e-9 {
+		t.Errorf("distributed GSD %v vs optimum %v", res.Solution.Value, exact.Value)
+	}
+}
+
+func TestDistributedWithFailures(t *testing.T) {
+	p := smallProblem(4, 40)
+	failed := []bool{false, false, true, false}
+	res, err := SolveDistributed(p, Options{Delta: 1e5, MaxIters: 400, Seed: 6, Failed: failed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Solution.Speeds[2] != 0 || res.Solution.Load[2] != 0 {
+		t.Errorf("failed group participated: speed=%d load=%v",
+			res.Solution.Speeds[2], res.Solution.Load[2])
+	}
+}
+
+func TestDistributedRejectsZeroDelayWeight(t *testing.T) {
+	p := smallProblem(2, 10)
+	p.Wd = 0
+	if _, err := SolveDistributed(p, Options{Delta: 1, MaxIters: 1}); err == nil {
+		t.Error("Wd = 0 accepted")
+	}
+}
+
+func TestDistributedMatchesSequentialQuality(t *testing.T) {
+	// The two engines sample different chains but must land in the same
+	// neighborhood of the optimum at high δ.
+	p := smallProblem(3, 70)
+	seq, err := Solve(p, Options{Delta: 1e6, MaxIters: 1200, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist, err := SolveDistributed(p, Options{Delta: 1e6, MaxIters: 1200, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(seq.Solution.Value-dist.Solution.Value) > 0.02*(1+seq.Solution.Value) {
+		t.Errorf("sequential %v vs distributed %v", seq.Solution.Value, dist.Solution.Value)
+	}
+}

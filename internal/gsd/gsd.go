@@ -1,0 +1,286 @@
+// Package gsd implements GSD (Gibbs Sampling-based Distributed
+// optimization), the paper's Algorithm 2, which solves the per-slot
+// mixed-integer problem P3: each iteration a randomly selected server group
+// explores a random speed, the optimal load distribution for the exploration
+// is computed (Eq. 18, via package loadbalance), and the exploration is
+// adopted with the Gibbs probability
+//
+//	u = exp(δ/g̃ᵉ) / (exp(δ/g̃ᵉ) + exp(δ/g̃*)),
+//
+// where δ is the temperature controlling exploration versus exploitation.
+// Theorem 1: the induced Markov chain converges to the Gibbs stationary
+// distribution Ω(x) ∝ exp(δ/g̃(x)), which concentrates on the global optimum
+// as δ → ∞.
+//
+// Two engines are provided: Solve, a fast sequential simulation of the
+// algorithm, and SolveDistributed, a goroutine-per-group message-passing
+// implementation in which groups compete for the update slot with random
+// timers (§4.2) and loads are negotiated through the dual-decomposition
+// protocol of package loadbalance. Server failures are modeled per §4.2:
+// failed groups are forced off and simply do not participate.
+package gsd
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/dcmodel"
+	"repro/internal/loadbalance"
+	"repro/internal/stats"
+)
+
+// Options configures a GSD run.
+type Options struct {
+	// Delta is the constant temperature δ. Ignored when Schedule is set.
+	Delta float64
+	// Schedule, if non-nil, returns the temperature for each iteration,
+	// enabling the paper's "advisory approach" of ramping δ up over time.
+	Schedule func(iter int) float64
+	// MaxIters is the iteration budget (the stopping criterion of line 8).
+	MaxIters int
+	// Patience, when positive, stops the run early after this many
+	// consecutive iterations without improving the incumbent.
+	Patience int
+	// Seed drives all randomness; identical seeds give identical runs.
+	Seed uint64
+	// InitSpeeds optionally fixes the initial speed vector (line 1 requires
+	// a feasible initialization). Nil means "all groups at top speed".
+	InitSpeeds []int
+	// Failed marks server groups that have failed; they are forced to speed
+	// 0 and never selected for updates (§4.2 failure behavior).
+	Failed []bool
+	// RecordHistory enables per-iteration incumbent tracking (Fig. 4).
+	RecordHistory bool
+}
+
+// Result is the outcome of a GSD run.
+type Result struct {
+	// Solution is the best configuration visited. (Algorithm 2's incumbent
+	// x* is replaced probabilistically and can end worse than the best
+	// state seen; returning the best-ever visit is the standard
+	// simulated-annealing refinement and never hurts.)
+	Solution dcmodel.Solution
+	// History holds the incumbent objective g̃* after each iteration when
+	// RecordHistory is set — the trajectory the paper plots in Fig. 4,
+	// including the occasional accepted up-moves.
+	History []float64
+	// Iters is the number of iterations executed.
+	Iters int
+	// Accepted counts adopted explorations.
+	Accepted int
+}
+
+// ErrInfeasibleInit is returned when the initial speed vector cannot carry
+// the slot's load.
+var ErrInfeasibleInit = errors.New("gsd: infeasible initial speed vector")
+
+func (o *Options) temperature(iter int) float64 {
+	if o.Schedule != nil {
+		return o.Schedule(iter)
+	}
+	return o.Delta
+}
+
+// RampSchedule returns a multiplicative temperature ramp
+// δ(i) = δ0·growth^(i/step), capped at deltaMax — the adaptive selection
+// recommended at the end of §4.2 (explore first, then concentrate).
+func RampSchedule(delta0, growth float64, step int, deltaMax float64) func(int) float64 {
+	if step <= 0 {
+		step = 1
+	}
+	return func(iter int) float64 {
+		d := delta0 * math.Pow(growth, float64(iter/step))
+		if d > deltaMax {
+			return deltaMax
+		}
+		return d
+	}
+}
+
+// acceptProb computes the Gibbs acceptance u in an overflow-safe form:
+// u = σ(δ·(1/g̃ᵉ − 1/g̃*)). Infinite objectives (infeasible explorations)
+// yield the correct limits.
+func acceptProb(delta, gExplore, gBest float64) float64 {
+	invE := safeInv(gExplore)
+	invB := safeInv(gBest)
+	z := delta * (invE - invB)
+	// Sigmoid with saturation.
+	switch {
+	case z > 500:
+		return 1
+	case z < -500:
+		return 0
+	default:
+		return 1 / (1 + math.Exp(-z))
+	}
+}
+
+// safeInv returns 1/g with the conventions GSD needs: +Inf objectives (an
+// infeasible or overloaded exploration) map to 0 preference, and objectives
+// at or below zero (possible when λ = 0 and everything is off) map to a huge
+// preference without producing NaN.
+func safeInv(g float64) float64 {
+	if math.IsInf(g, 1) {
+		return 0
+	}
+	if g <= 0 {
+		return math.MaxFloat64 / 4
+	}
+	return 1 / g
+}
+
+// engine holds shared run state for both GSD implementations.
+type engine struct {
+	p        *dcmodel.SlotProblem
+	opts     Options
+	rng      *stats.RNG
+	alive    []int            // indices of non-failed groups
+	speeds   []int            // current exploration vector x^e
+	best     dcmodel.Solution // incumbent x*
+	bestEver dcmodel.Solution // best configuration visited
+	history  []float64
+	iters    int
+	accept   int
+}
+
+func newEngine(p *dcmodel.SlotProblem, opts Options) (*engine, error) {
+	n := len(p.Cluster.Groups)
+	if opts.Failed != nil && len(opts.Failed) != n {
+		return nil, fmt.Errorf("gsd: Failed has %d entries for %d groups", len(opts.Failed), n)
+	}
+	if opts.MaxIters <= 0 {
+		opts.MaxIters = 200 * n
+	}
+	e := &engine{p: p, opts: opts, rng: stats.NewRNG(opts.Seed)}
+	for g := 0; g < n; g++ {
+		if opts.Failed == nil || !opts.Failed[g] {
+			e.alive = append(e.alive, g)
+		}
+	}
+	if len(e.alive) == 0 {
+		return nil, errors.New("gsd: every group has failed")
+	}
+	// Line 1: feasible initialization.
+	e.speeds = make([]int, n)
+	if opts.InitSpeeds != nil {
+		if len(opts.InitSpeeds) != n {
+			return nil, fmt.Errorf("gsd: InitSpeeds has %d entries for %d groups", len(opts.InitSpeeds), n)
+		}
+		copy(e.speeds, opts.InitSpeeds)
+		for g := 0; g < n; g++ {
+			if opts.Failed != nil && opts.Failed[g] {
+				e.speeds[g] = 0
+			}
+		}
+	} else {
+		for _, g := range e.alive {
+			e.speeds[g] = p.Cluster.Groups[g].Type.NumSpeeds()
+		}
+	}
+	if !p.Feasible(e.speeds) {
+		return nil, ErrInfeasibleInit
+	}
+	sol, err := loadbalance.Solve(p, e.speeds)
+	if err != nil {
+		return nil, fmt.Errorf("gsd: initial load distribution: %w", err)
+	}
+	e.best = sol.Clone()
+	e.bestEver = sol.Clone()
+	return e, nil
+}
+
+// evaluate computes g̃ for the current exploration vector using the supplied
+// load solver (centralized or distributed).
+type loadSolver func(p *dcmodel.SlotProblem, speeds []int) (dcmodel.Solution, error)
+
+// step runs one GSD iteration (lines 2–7) with the given load solver.
+func (e *engine) step(solve loadSolver) {
+	delta := e.opts.temperature(e.iters)
+	// Lines 2–5: evaluate the exploration if it is feasible.
+	if e.p.Feasible(e.speeds) {
+		if sol, err := solve(e.p, e.speeds); err == nil {
+			if sol.Value < e.bestEver.Value {
+				e.bestEver = sol.Clone()
+			}
+			u := acceptProb(delta, sol.Value, e.best.Value)
+			if e.rng.Bernoulli(u) {
+				e.best = sol.Clone()
+				e.accept++
+			} else {
+				copy(e.speeds, e.best.Speeds)
+			}
+		} else {
+			copy(e.speeds, e.best.Speeds)
+		}
+	} else {
+		// Infeasible exploration: acceptance probability is 0 (g̃ᵉ = +Inf);
+		// revert to the incumbent.
+		copy(e.speeds, e.best.Speeds)
+	}
+	// Line 7: a random live group explores a random speed.
+	g := e.alive[e.rng.IntN(len(e.alive))]
+	e.speeds[g] = e.rng.IntN(e.p.Cluster.Groups[g].Type.NumSpeeds() + 1)
+	e.iters++
+	if e.opts.RecordHistory {
+		e.history = append(e.history, e.best.Value)
+	}
+}
+
+func (e *engine) run(solve loadSolver) Result {
+	noImprove := 0
+	lastBest := e.bestEver.Value
+	for e.iters < e.opts.MaxIters {
+		e.step(solve)
+		if e.bestEver.Value < lastBest-1e-15*(1+math.Abs(lastBest)) {
+			lastBest = e.bestEver.Value
+			noImprove = 0
+		} else {
+			noImprove++
+			if e.opts.Patience > 0 && noImprove >= e.opts.Patience {
+				break
+			}
+		}
+	}
+	return Result{
+		Solution: e.bestEver,
+		History:  e.history,
+		Iters:    e.iters,
+		Accepted: e.accept,
+	}
+}
+
+// Solve runs the sequential GSD engine on P3.
+func Solve(p *dcmodel.SlotProblem, opts Options) (Result, error) {
+	e, err := newEngine(p, opts)
+	if err != nil {
+		return Result{}, err
+	}
+	return e.run(loadbalance.Solve), nil
+}
+
+// Solver adapts GSD to the p3.Solver interface.
+type Solver struct {
+	Opts Options
+}
+
+// Solve implements p3.Solver. The seed is advanced on every call so repeated
+// slots do not replay the same sample path; pass a fresh Solver for
+// reproducibility of a single slot. Each slot warm-starts from the previous
+// slot's decision, falling back to the all-top-speed initialization when the
+// warm start cannot carry the new load.
+func (s *Solver) Solve(p *dcmodel.SlotProblem) (dcmodel.Solution, error) {
+	res, err := Solve(p, s.Opts)
+	if errors.Is(err, ErrInfeasibleInit) {
+		cold := s.Opts
+		cold.InitSpeeds = nil
+		res, err = Solve(p, cold)
+	}
+	if err != nil {
+		return dcmodel.Solution{}, err
+	}
+	s.Opts.Seed = s.Opts.Seed*6364136223846793005 + 1442695040888963407
+	// Warm-start the next slot from this slot's decision.
+	s.Opts.InitSpeeds = append([]int(nil), res.Solution.Speeds...)
+	return res.Solution, nil
+}

@@ -1,0 +1,179 @@
+package loadbalance
+
+import (
+	"errors"
+	"math"
+	"sync"
+
+	"repro/internal/dcmodel"
+)
+
+// ErrNeedsDelayWeight is returned by SolveDistributed when Wd = 0: with no
+// delay term the per-group response to a price is bang-bang and the
+// price-only protocol cannot break ties; use the centralized Solve instead.
+var ErrNeedsDelayWeight = errors.New("loadbalance: distributed solver requires Wd > 0")
+
+// priceQuery is the dual-decomposition message: the coordinator announces an
+// electricity weight ω and a load price ν, and the addressed server group
+// answers with the load it would accept at that price together with its
+// remaining γ-cap headroom.
+type priceQuery struct {
+	omega, nu float64
+	reply     chan<- priceResponse
+}
+
+type priceResponse struct {
+	agent int
+	load  float64
+	cap   float64
+}
+
+// agentLoop is one autonomous server group. It knows only its own
+// parameters; all coordination happens through price signals, mirroring the
+// dual-decomposition structure the paper references ([5], [27]).
+func (in *Instance) agentLoop(agent int, queries <-chan priceQuery) {
+	g := in.groups[agent]
+	for q := range queries {
+		q.reply <- priceResponse{
+			agent: agent,
+			load:  in.alloc(g, q.omega, q.nu),
+			cap:   g.cap,
+		}
+	}
+}
+
+// distCoordinator drives bisection on the dual price by broadcasting
+// price queries to agents and aggregating their responses.
+type distCoordinator struct {
+	in      *Instance
+	queries []chan priceQuery
+	wg      sync.WaitGroup
+}
+
+func newDistCoordinator(in *Instance) *distCoordinator {
+	d := &distCoordinator{in: in, queries: make([]chan priceQuery, len(in.groups))}
+	for i := range in.groups {
+		ch := make(chan priceQuery, 1)
+		d.queries[i] = ch
+		d.wg.Add(1)
+		go func(agent int) {
+			defer d.wg.Done()
+			in.agentLoop(agent, ch)
+		}(i)
+	}
+	return d
+}
+
+func (d *distCoordinator) stop() {
+	for _, ch := range d.queries {
+		close(ch)
+	}
+	d.wg.Wait()
+}
+
+// round broadcasts one (ω, ν) price and gathers every agent's response.
+func (d *distCoordinator) round(omega, nu float64) []priceResponse {
+	replies := make(chan priceResponse, len(d.queries))
+	for _, ch := range d.queries {
+		ch <- priceQuery{omega: omega, nu: nu, reply: replies}
+	}
+	out := make([]priceResponse, len(d.queries))
+	for range d.queries {
+		r := <-replies
+		out[r.agent] = r
+	}
+	return out
+}
+
+func sumLoads(rs []priceResponse) float64 {
+	var s float64
+	for _, r := range rs {
+		s += r.load
+	}
+	return s
+}
+
+// fill performs the distributed water-filling for a fixed electricity
+// weight: geometric bracket expansion on ν followed by bisection, each step
+// one broadcast round.
+func (d *distCoordinator) fill(omega float64) ([]float64, error) {
+	target := d.in.prob.LambdaRPS
+	if target == 0 {
+		return make([]float64, len(d.in.groups)), nil
+	}
+	nuLo, nuHi := 0.0, 1.0
+	for iter := 0; iter < 200; iter++ {
+		if sumLoads(d.round(omega, nuHi)) >= target {
+			break
+		}
+		nuLo = nuHi
+		nuHi *= 2
+	}
+	var last []priceResponse
+	for iter := 0; iter < 200 && nuHi-nuLo > 1e-12*(1+nuHi); iter++ {
+		mid := nuLo + (nuHi-nuLo)/2
+		last = d.round(omega, mid)
+		if sumLoads(last) < target {
+			nuLo = mid
+		} else {
+			nuHi = mid
+		}
+	}
+	if last == nil {
+		last = d.round(omega, nuHi)
+	}
+	loads := make([]float64, len(d.in.groups))
+	var got float64
+	for i, r := range last {
+		loads[i] = r.load
+		got += r.load
+	}
+	// Repair the bisection residual against the caps reported by agents.
+	resid := target - got
+	for pass := 0; pass < 4 && math.Abs(resid) > waterFillTol; pass++ {
+		for i, r := range last {
+			if resid > 0 {
+				delta := math.Min(r.cap-loads[i], resid)
+				loads[i] += delta
+				resid -= delta
+			} else {
+				delta := math.Min(loads[i], -resid)
+				loads[i] -= delta
+				resid += delta
+			}
+			if math.Abs(resid) <= waterFillTol {
+				break
+			}
+		}
+	}
+	if math.Abs(resid) > 1e-3 {
+		return nil, ErrInfeasible
+	}
+	return loads, nil
+}
+
+// SolveDistributed computes the same optimum as Solve but via the
+// dual-decomposition message-passing protocol: one goroutine per server
+// group, coordination only through price broadcasts. The regime analysis on
+// the [·]^+ kink is identical to the centralized path.
+func SolveDistributed(p *dcmodel.SlotProblem, speeds []int) (dcmodel.Solution, error) {
+	if p.Wd <= 0 {
+		return dcmodel.Solution{}, ErrNeedsDelayWeight
+	}
+	in, err := NewInstance(p, speeds)
+	if err != nil {
+		return dcmodel.Solution{}, err
+	}
+	d := newDistCoordinator(in)
+	defer d.stop()
+	loads, err := in.solveWith(d.fill)
+	if err != nil {
+		return dcmodel.Solution{}, err
+	}
+	full := in.expand(loads)
+	return dcmodel.Solution{
+		Speeds: append([]int(nil), speeds...),
+		Load:   full,
+		Value:  p.Objective(speeds, full),
+	}, nil
+}

@@ -1,0 +1,252 @@
+// Package loadbalance solves the optimal load-distribution subproblem of
+// COCA: given a fixed speed vector (GSD Algorithm 2 line 3, Eq. (18)),
+// distribute the total arrival rate λ(t) across server groups to minimize
+//
+//	We·[p(λ,x) − r]^+ + Wd·d(λ,x)
+//	s.t. Σ_g L_g = λ,  0 ≤ L_g ≤ γ·n_g·x_g,
+//
+// where group power is affine in load and the M/G/1/PS delay cost is convex.
+// The [·]^+ kink makes the objective piecewise convex; we solve it by regime
+// analysis — water-fill with the full electricity weight (grid regime), with
+// zero weight (renewable-surplus regime), and, when the two disagree, bisect
+// the effective weight to pin total power exactly at the on-site supply r(t)
+// (the kink).
+//
+// Two solvers are provided: Solve, a single-coordinator KKT water-filling
+// solver, and SolveDistributed, a dual-decomposition implementation in which
+// every server group runs as an autonomous goroutine answering price signals
+// (the distributed solution the paper points to via refs [5] and [27]).
+package loadbalance
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/dcmodel"
+	"repro/internal/numopt"
+)
+
+// ErrInfeasible is returned when λ exceeds the γ-discounted capacity of the
+// given speed configuration.
+var ErrInfeasible = errors.New("loadbalance: load exceeds configuration capacity")
+
+// group holds the precomputed per-group constants of the subproblem.
+// Off groups (speed 0) are excluded from instances entirely.
+type group struct {
+	idx     int     // index into the cluster's group list
+	n       float64 // number of servers
+	rate    float64 // R = n·x: aggregate service rate
+	slopeKW float64 // A = PUE·p_c(x)/x: marginal facility power per RPS
+	cap     float64 // γ·R: maximum allowed load
+}
+
+// Instance is a prepared subproblem for one (problem, speeds) pair. Prepare
+// once, then Solve; preparation separates validation from the hot path so
+// GSD can re-solve thousands of proposals cheaply.
+type Instance struct {
+	prob   *dcmodel.SlotProblem
+	speeds []int
+	groups []group
+	baseKW float64 // PUE · Σ static power of on groups (load-independent)
+}
+
+// NewInstance validates and prepares the subproblem. It returns
+// ErrInfeasible when the speed vector cannot carry the problem's λ.
+func NewInstance(p *dcmodel.SlotProblem, speeds []int) (*Instance, error) {
+	if len(speeds) != len(p.Cluster.Groups) {
+		return nil, fmt.Errorf("loadbalance: %d speeds for %d groups",
+			len(speeds), len(p.Cluster.Groups))
+	}
+	in := &Instance{prob: p, speeds: speeds}
+	var capSum float64
+	for g := range p.Cluster.Groups {
+		k := speeds[g]
+		if k < 0 || k > p.Cluster.Groups[g].Type.NumSpeeds() {
+			return nil, fmt.Errorf("loadbalance: group %d speed index %d out of range", g, k)
+		}
+		if k == 0 {
+			continue
+		}
+		grp := &p.Cluster.Groups[g]
+		r := grp.RateAt(k)
+		in.groups = append(in.groups, group{
+			idx:     g,
+			n:       float64(grp.N),
+			rate:    r,
+			slopeKW: p.Cluster.PUE * grp.PowerSlopeKWPerRPS(k),
+			cap:     p.Cluster.Gamma * r,
+		})
+		in.baseKW += p.Cluster.PUE * float64(grp.N) * grp.Type.StaticKW
+		capSum += p.Cluster.Gamma * r
+	}
+	if p.LambdaRPS > capSum*(1+1e-12) {
+		return nil, ErrInfeasible
+	}
+	return in, nil
+}
+
+// marginal returns d(cost)/dL for one group at load v under electricity
+// weight omega.
+func (in *Instance) marginal(g group, omega, v float64) float64 {
+	den := g.rate - v
+	if den <= 0 {
+		return math.Inf(1)
+	}
+	return omega*g.slopeKW + in.prob.Wd*g.n*g.rate/(den*den)
+}
+
+// alloc returns the load at which the group's marginal cost equals price nu
+// under electricity weight omega, clamped to [0, cap].
+func (in *Instance) alloc(g group, omega, nu float64) float64 {
+	rem := nu - omega*g.slopeKW
+	if rem <= 0 {
+		return 0
+	}
+	if in.prob.Wd <= 0 {
+		// Pure electricity cost: bang-bang (handled by fillNoDelay; this
+		// path keeps alloc total so water-filling code stays generic).
+		return g.cap
+	}
+	// Wd·n·R/(R−L)² = rem  →  L = R − sqrt(Wd·n·R/rem).
+	l := g.rate - math.Sqrt(in.prob.Wd*g.n*g.rate/rem)
+	return numopt.Clamp(l, 0, g.cap)
+}
+
+// fill water-fills the total load across groups under electricity weight
+// omega, returning per-instance-group loads.
+func (in *Instance) fill(omega float64) ([]float64, error) {
+	if in.prob.Wd <= 0 {
+		return in.fillNoDelay(omega), nil
+	}
+	items := make([]numopt.WaterFillItem, len(in.groups))
+	for i, g := range in.groups {
+		g := g
+		items[i] = numopt.WaterFillItem{
+			Cap:   g.cap,
+			Deriv: func(v float64) float64 { return in.marginal(g, omega, v) },
+			Alloc: func(nu float64) float64 { return in.alloc(g, omega, nu) },
+		}
+	}
+	out, err := numopt.WaterFill(items, in.prob.LambdaRPS, waterFillTol)
+	if err != nil {
+		return nil, ErrInfeasible
+	}
+	return out, nil
+}
+
+// fillNoDelay handles the degenerate Wd = 0 case (no delay weight): the cost
+// is linear in each load, so fill groups to their caps in ascending order of
+// electricity slope.
+func (in *Instance) fillNoDelay(omega float64) []float64 {
+	order := make([]int, len(in.groups))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		return omega*in.groups[order[a]].slopeKW < omega*in.groups[order[b]].slopeKW
+	})
+	out := make([]float64, len(in.groups))
+	remaining := in.prob.LambdaRPS
+	for _, i := range order {
+		take := math.Min(remaining, in.groups[i].cap)
+		out[i] = take
+		remaining -= take
+		if remaining <= 0 {
+			break
+		}
+	}
+	return out
+}
+
+const waterFillTol = 1e-7
+
+// powerOf returns the facility power of an instance-group load vector.
+func (in *Instance) powerOf(loads []float64) float64 {
+	p := in.baseKW
+	for i, g := range in.groups {
+		p += g.slopeKW * loads[i]
+	}
+	return p
+}
+
+// expand scatters instance-group loads back to full cluster-group indexing.
+func (in *Instance) expand(loads []float64) []float64 {
+	full := make([]float64, len(in.prob.Cluster.Groups))
+	for i, g := range in.groups {
+		full[g.idx] = loads[i]
+	}
+	return full
+}
+
+// Solve computes the optimal load distribution for the instance using the
+// centralized KKT water-filling solver with regime analysis on the [·]^+
+// kink.
+func (in *Instance) Solve() (dcmodel.Solution, error) {
+	loads, err := in.solveWith(in.fill)
+	if err != nil {
+		return dcmodel.Solution{}, err
+	}
+	full := in.expand(loads)
+	return dcmodel.Solution{
+		Speeds: append([]int(nil), in.speeds...),
+		Load:   full,
+		Value:  in.prob.Objective(in.speeds, full),
+	}, nil
+}
+
+// solveWith runs the regime analysis with a pluggable filler so the
+// distributed solver can reuse the identical logic.
+func (in *Instance) solveWith(fill func(omega float64) ([]float64, error)) ([]float64, error) {
+	if len(in.groups) == 0 {
+		if in.prob.LambdaRPS > 0 {
+			return nil, ErrInfeasible
+		}
+		return nil, nil
+	}
+	r := in.prob.OnsiteKW
+	// Regime "grid": electricity weight fully active.
+	gridLoads, err := fill(in.prob.We)
+	if err != nil {
+		return nil, err
+	}
+	if in.prob.We == 0 || in.powerOf(gridLoads) >= r-powerTol {
+		return gridLoads, nil
+	}
+	// Regime "surplus": on-site renewables cover everything; electricity
+	// weight vanishes under the [·]^+.
+	freeLoads, err := fill(0)
+	if err != nil {
+		return nil, err
+	}
+	if in.powerOf(freeLoads) <= r+powerTol {
+		return freeLoads, nil
+	}
+	// Kink regime: the optimum pins total power at r. Total power is
+	// non-increasing in the effective weight ω, so bisect ω ∈ [0, We].
+	omega := numopt.BisectMonotone(func(w float64) float64 {
+		loads, ferr := fill(w)
+		if ferr != nil {
+			err = ferr
+			return 0
+		}
+		return in.powerOf(loads)
+	}, r, 0, in.prob.We, in.prob.We*1e-12, 100)
+	if err != nil {
+		return nil, err
+	}
+	return fill(omega)
+}
+
+const powerTol = 1e-6 // kW: tolerance when comparing power against r(t)
+
+// Solve computes the optimal load split of Eq. (18) for fixed speeds using
+// the centralized solver. See Instance for the reusable form.
+func Solve(p *dcmodel.SlotProblem, speeds []int) (dcmodel.Solution, error) {
+	in, err := NewInstance(p, speeds)
+	if err != nil {
+		return dcmodel.Solution{}, err
+	}
+	return in.Solve()
+}

@@ -1,0 +1,261 @@
+// Package numopt is the handwritten numerical-optimization toolkit used by
+// the COCA reproduction. Go has no mainstream numerical ecosystem, so the
+// primitives the paper's algorithms rest on — scalar root finding, unimodal
+// search over both continuous and integer domains, and the KKT water-filling
+// solver for separable convex programs with a single linear coupling
+// constraint — are implemented here from scratch on the standard library.
+package numopt
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrNoBracket is returned when a root finder is called on an interval whose
+// endpoint values do not bracket the target.
+var ErrNoBracket = errors.New("numopt: interval does not bracket a root")
+
+// ErrInfeasible is returned by solvers whose constraints admit no solution.
+var ErrInfeasible = errors.New("numopt: problem infeasible")
+
+// Bisect finds x in [lo, hi] with f(x) ≈ 0 for a continuous f that changes
+// sign over the interval, to within xtol on the argument. It runs at most
+// maxIter iterations (64 is plenty for float64). If f(lo) and f(hi) have the
+// same strict sign, ErrNoBracket is returned.
+func Bisect(f func(float64) float64, lo, hi, xtol float64, maxIter int) (float64, error) {
+	flo, fhi := f(lo), f(hi)
+	if flo == 0 {
+		return lo, nil
+	}
+	if fhi == 0 {
+		return hi, nil
+	}
+	if (flo > 0) == (fhi > 0) {
+		return 0, ErrNoBracket
+	}
+	for i := 0; i < maxIter && hi-lo > xtol; i++ {
+		mid := lo + (hi-lo)/2
+		fm := f(mid)
+		if fm == 0 {
+			return mid, nil
+		}
+		if (fm > 0) == (fhi > 0) {
+			hi, fhi = mid, fm
+		} else {
+			lo, flo = mid, fm
+		}
+	}
+	return lo + (hi-lo)/2, nil
+}
+
+// BisectMonotone finds x in [lo, hi] with g(x) ≈ target for a monotone
+// (either direction) continuous g. If the target lies outside [g(lo), g(hi)],
+// the nearer endpoint is returned; this saturating behavior is what the
+// dual-variable searches in the load balancer need.
+func BisectMonotone(g func(float64) float64, target, lo, hi, xtol float64, maxIter int) float64 {
+	glo, ghi := g(lo), g(hi)
+	increasing := ghi >= glo
+	// Saturate outside the achievable range.
+	if increasing {
+		if target <= glo {
+			return lo
+		}
+		if target >= ghi {
+			return hi
+		}
+	} else {
+		if target >= glo {
+			return lo
+		}
+		if target <= ghi {
+			return hi
+		}
+	}
+	for i := 0; i < maxIter && hi-lo > xtol; i++ {
+		mid := lo + (hi-lo)/2
+		gm := g(mid)
+		if gm == target {
+			return mid
+		}
+		if (gm < target) == increasing {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo + (hi-lo)/2
+}
+
+// GoldenSection minimizes a unimodal continuous f over [lo, hi] to within
+// xtol and returns the minimizing argument and value.
+func GoldenSection(f func(float64) float64, lo, hi, xtol float64) (x, fx float64) {
+	const invPhi = 0.6180339887498949 // (√5 − 1) / 2
+	a, b := lo, hi
+	c := b - invPhi*(b-a)
+	d := a + invPhi*(b-a)
+	fc, fd := f(c), f(d)
+	for b-a > xtol {
+		if fc < fd {
+			b, d, fd = d, c, fc
+			c = b - invPhi*(b-a)
+			fc = f(c)
+		} else {
+			a, c, fc = c, d, fd
+			d = a + invPhi*(b-a)
+			fd = f(d)
+		}
+	}
+	x = a + (b-a)/2
+	return x, f(x)
+}
+
+// MinimizeInt minimizes f over the integers [lo, hi]. It assumes f is
+// unimodal (non-strictly) and uses ternary search narrowed to a final local
+// sweep of width sweep, which protects against small plateaus and mild
+// non-unimodality near the optimum (e.g. the [·]^+ kink in the COCA
+// objective). It returns the best argument and value. It panics if lo > hi.
+func MinimizeInt(f func(int) float64, lo, hi, sweep int) (int, float64) {
+	if lo > hi {
+		panic("numopt: MinimizeInt requires lo <= hi")
+	}
+	if sweep < 1 {
+		sweep = 1
+	}
+	a, b := lo, hi
+	for b-a > 2*sweep {
+		m1 := a + (b-a)/3
+		m2 := b - (b-a)/3
+		if f(m1) <= f(m2) {
+			b = m2 - 1
+		} else {
+			a = m1 + 1
+		}
+	}
+	// Final exhaustive sweep over the remaining window, padded by sweep on
+	// both sides to absorb ternary-search error under weak unimodality.
+	start, end := a-sweep, b+sweep
+	if start < lo {
+		start = lo
+	}
+	if end > hi {
+		end = hi
+	}
+	bestX, bestF := start, f(start)
+	for x := start + 1; x <= end; x++ {
+		if v := f(x); v < bestF {
+			bestX, bestF = x, v
+		}
+	}
+	return bestX, bestF
+}
+
+// Clamp restricts v to [lo, hi].
+func Clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// WaterFillItem describes one coordinate of the separable convex program
+// solved by WaterFill: each coordinate i contributes a convex cost with
+// derivative Deriv(λ_i) that is continuous and strictly increasing on
+// [0, Cap_i), and λ_i is constrained to [0, Cap_i].
+type WaterFillItem struct {
+	// Cap is the upper bound on this coordinate (exclusive domain limit for
+	// the derivative; the allocation itself may equal Cap).
+	Cap float64
+	// Deriv returns the marginal cost at allocation v in [0, Cap].
+	Deriv func(v float64) float64
+	// Alloc returns the allocation at which the marginal cost equals price
+	// nu, clamped to [0, Cap]. It is the inverse of Deriv extended by
+	// saturation, i.e. Alloc(nu)=0 when nu <= Deriv(0) and Alloc(nu)=Cap when
+	// nu >= Deriv(Cap).
+	Alloc func(nu float64) float64
+}
+
+// WaterFill solves
+//
+//	min Σ_i cost_i(λ_i)   s.t.  Σ_i λ_i = total,  0 ≤ λ_i ≤ Cap_i
+//
+// for separable convex costs described by items, via bisection on the dual
+// price ν (the classic water-filling / KKT structure: λ_i(ν) = Alloc_i(ν)).
+// It returns the allocation, or ErrInfeasible when total exceeds Σ Cap_i or
+// total < 0.
+func WaterFill(items []WaterFillItem, total, tol float64) ([]float64, error) {
+	if total < 0 {
+		return nil, ErrInfeasible
+	}
+	var capSum float64
+	for _, it := range items {
+		capSum += it.Cap
+	}
+	if total > capSum*(1+1e-12)+tol {
+		return nil, ErrInfeasible
+	}
+	out := make([]float64, len(items))
+	if total == 0 {
+		return out, nil
+	}
+	if total >= capSum {
+		for i, it := range items {
+			out[i] = it.Cap
+		}
+		return out, nil
+	}
+	sumAt := func(nu float64) float64 {
+		var s float64
+		for _, it := range items {
+			s += it.Alloc(nu)
+		}
+		return s
+	}
+	// Bracket ν: start from the largest Deriv(0) and expand geometrically
+	// until the aggregate allocation covers total.
+	nuLo, nuHi := math.Inf(1), math.Inf(-1)
+	for _, it := range items {
+		d0 := it.Deriv(0)
+		if d0 < nuLo {
+			nuLo = d0
+		}
+		if d0 > nuHi {
+			nuHi = d0
+		}
+	}
+	if nuHi <= nuLo {
+		nuHi = nuLo + 1
+	}
+	for iter := 0; sumAt(nuHi) < total && iter < 200; iter++ {
+		nuHi = nuLo + 2*(nuHi-nuLo)
+	}
+	nu := BisectMonotone(sumAt, total, nuLo, nuHi, (nuHi-nuLo)*1e-13, 120)
+	var got float64
+	for i, it := range items {
+		out[i] = it.Alloc(nu)
+		got += out[i]
+	}
+	// Repair the residual mismatch caused by finite bisection: spread it
+	// across coordinates with slack, preserving bounds.
+	resid := total - got
+	for pass := 0; pass < 4 && math.Abs(resid) > tol; pass++ {
+		for i, it := range items {
+			if resid > 0 {
+				room := it.Cap - out[i]
+				d := math.Min(room, resid)
+				out[i] += d
+				resid -= d
+			} else {
+				d := math.Min(out[i], -resid)
+				out[i] -= d
+				resid += d
+			}
+			if math.Abs(resid) <= tol {
+				break
+			}
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,176 @@
+package p3
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dcmodel"
+	"repro/internal/stats"
+)
+
+func baseProblem() *HomogeneousProblem {
+	return &HomogeneousProblem{
+		Type: dcmodel.Opteron(), N: 200, Gamma: 0.95, PUE: 1,
+		LambdaRPS: 600, We: 0.05, Wd: 0.02, OnsiteKW: 5,
+	}
+}
+
+func TestMaxPowerConstraintBinds(t *testing.T) {
+	free, err := baseProblem().Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	capped := baseProblem()
+	capped.MaxPowerKW = free.PowerKW * 0.9
+	got, err := capped.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.PowerKW > capped.MaxPowerKW*(1+1e-9) {
+		t.Errorf("power %v exceeds cap %v", got.PowerKW, capped.MaxPowerKW)
+	}
+	if got.Value < free.Value-1e-9 {
+		t.Errorf("constrained optimum %v beats unconstrained %v", got.Value, free.Value)
+	}
+}
+
+func TestMaxDelayConstraintBinds(t *testing.T) {
+	free, err := baseProblem().Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	capped := baseProblem()
+	// The tightest achievable delay with the whole fleet at top speed is
+	// λ·N/(N·x − λ); pick a cap between that floor and the free optimum so
+	// the constraint binds but stays feasible.
+	floor := capped.LambdaRPS * float64(capped.N) /
+		(float64(capped.N)*capped.Type.MaxRate() - capped.LambdaRPS)
+	capped.MaxDelayCost = (free.DelayCost + floor) / 2
+	got, err := capped.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.DelayCost > capped.MaxDelayCost*(1+1e-9) {
+		t.Errorf("delay %v exceeds cap %v", got.DelayCost, capped.MaxDelayCost)
+	}
+	if got.Value < free.Value-1e-9 {
+		t.Errorf("constrained optimum %v beats unconstrained %v", got.Value, free.Value)
+	}
+}
+
+func TestConstraintsInfeasible(t *testing.T) {
+	// A power cap below even the leanest configuration.
+	hp := baseProblem()
+	hp.MaxPowerKW = 1
+	if _, err := hp.Solve(); err != ErrInfeasible {
+		t.Errorf("tiny power cap: want ErrInfeasible, got %v", err)
+	}
+	// A delay cap below the λ/x limit (infinitely many servers cannot meet it).
+	hp = baseProblem()
+	hp.MaxDelayCost = hp.LambdaRPS/hp.Type.MaxRate() - 1
+	if _, err := hp.Solve(); err != ErrInfeasible {
+		t.Errorf("impossible delay cap: want ErrInfeasible, got %v", err)
+	}
+}
+
+func TestConstrainedMatchesExhaustive(t *testing.T) {
+	rng := stats.NewRNG(777)
+	for trial := 0; trial < 50; trial++ {
+		hp := &HomogeneousProblem{
+			Type: dcmodel.Opteron(), N: 1 + rng.IntN(150), Gamma: 0.95, PUE: 1,
+			LambdaRPS: rng.Uniform(1, 600), We: rng.Uniform(0, 0.3),
+			Wd: rng.Uniform(1e-3, 0.05), OnsiteKW: rng.Uniform(0, 10),
+		}
+		if rng.Bernoulli(0.7) {
+			hp.MaxPowerKW = rng.Uniform(5, 50)
+		}
+		if rng.Bernoulli(0.7) {
+			hp.MaxDelayCost = rng.Uniform(50, 1000)
+		}
+		fast, fastErr := hp.Solve()
+		bestVal := math.Inf(1)
+		for k := 1; k <= hp.Type.NumSpeeds(); k++ {
+			for m := 1; m <= hp.N; m++ {
+				if v, _ := hp.objective(k, m); v < bestVal {
+					bestVal = v
+				}
+			}
+		}
+		if math.IsInf(bestVal, 1) {
+			if fastErr != ErrInfeasible {
+				t.Errorf("trial %d: exhaustive infeasible, fast said %v", trial, fastErr)
+			}
+			continue
+		}
+		if fastErr != nil {
+			t.Fatalf("trial %d: %v (exhaustive found %v)", trial, fastErr, bestVal)
+		}
+		if fast.Value > bestVal*(1+1e-9)+1e-12 {
+			t.Errorf("trial %d: fast %v > exhaustive %v", trial, fast.Value, bestVal)
+		}
+	}
+}
+
+func TestGridCostFnTieredConvex(t *testing.T) {
+	// The nonlinear-tariff path must still be exact vs exhaustive search.
+	tiers, err := dcmodel.NewTieredTariff([]dcmodel.Tier{
+		{UpToKWh: 10, Mult: 1},
+		{UpToKWh: 25, Mult: 2},
+		{UpToKWh: math.Inf(1), Mult: 5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := stats.NewRNG(888)
+	for trial := 0; trial < 40; trial++ {
+		hp := &HomogeneousProblem{
+			Type: dcmodel.Opteron(), N: 80 + rng.IntN(120), Gamma: 0.95, PUE: 1,
+			LambdaRPS: rng.Uniform(1, 500), Wd: rng.Uniform(1e-3, 0.05),
+			OnsiteKW: rng.Uniform(0, 5),
+		}
+		w := rng.Uniform(0.01, 0.2)
+		hp.GridCostFn = func(g float64) float64 { return w * tiers.Cost(g) }
+		fast, err := hp.Solve()
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		bestVal := math.Inf(1)
+		for k := 1; k <= hp.Type.NumSpeeds(); k++ {
+			for m := 1; m <= hp.N; m++ {
+				if v, _ := hp.objective(k, m); v < bestVal {
+					bestVal = v
+				}
+			}
+		}
+		if fast.Value > bestVal*(1+1e-9)+1e-12 {
+			t.Errorf("trial %d: tariff fast %v > exhaustive %v", trial, fast.Value, bestVal)
+		}
+	}
+}
+
+func TestTariffShiftsTowardLowerDraw(t *testing.T) {
+	// A steep inclining-block tariff should push the optimum to a lower
+	// grid draw than the flat tariff at equal base price.
+	flat := baseProblem()
+	flatSol, err := flat.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tiers, err := dcmodel.NewTieredTariff([]dcmodel.Tier{
+		{UpToKWh: flatSol.GridKWh * 0.8, Mult: 1},
+		{UpToKWh: math.Inf(1), Mult: 20},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tiered := baseProblem()
+	tiered.GridCostFn = func(g float64) float64 { return tiered.We * tiers.Cost(g) }
+	tieredSol, err := tiered.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tieredSol.GridKWh > flatSol.GridKWh+1e-9 {
+		t.Errorf("steep tariff did not reduce draw: %v vs %v",
+			tieredSol.GridKWh, flatSol.GridKWh)
+	}
+}

@@ -1,0 +1,139 @@
+// Package predict provides the workload forecasters that prediction-based
+// energy budgeting depends on. The paper's PerfectHP baseline assumes
+// *perfect* 48-hour-ahead hourly predictions (§5.2.2) and argues that real
+// predictions beyond 48 hours "typically exhibit large errors"; this
+// package supplies both realistic forecasters (seasonal-naive and
+// hour-of-week profile smoothing) and a controllable noisy oracle, so the
+// experiments can measure how quickly prediction-based budgeting degrades
+// as forecast error grows — the degradation COCA avoids by being online.
+package predict
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// Forecaster produces an hourly forecast trace for a whole horizon.
+type Forecaster interface {
+	// Name identifies the forecaster in reports.
+	Name() string
+	// Forecast returns a trace of the same length as truth whose value at
+	// t is the forecast for slot t, produced without reading truth[t] or
+	// anything after it (except for oracles, which say so in their name).
+	Forecast(truth *trace.Trace) *trace.Trace
+}
+
+// SeasonalNaive forecasts slot t with the observed value one period
+// earlier (t − Period); the first period falls back to the first observed
+// value. A weekly period (168 h) captures diurnal+weekly structure.
+type SeasonalNaive struct {
+	Period int
+}
+
+// Name implements Forecaster.
+func (s SeasonalNaive) Name() string { return fmt.Sprintf("seasonal-naive-%dh", s.Period) }
+
+// Forecast implements Forecaster.
+func (s SeasonalNaive) Forecast(truth *trace.Trace) *trace.Trace {
+	if s.Period <= 0 {
+		panic("predict: SeasonalNaive requires a positive period")
+	}
+	out := make([]float64, truth.Len())
+	for t := range out {
+		if t >= s.Period {
+			out[t] = truth.Values[t-s.Period]
+		} else if truth.Len() > 0 {
+			out[t] = truth.Values[0]
+		}
+	}
+	return &trace.Trace{Name: s.Name(), Values: out}
+}
+
+// ProfileEWMA maintains an exponentially smoothed hour-of-week profile:
+// the forecast for slot t is the smoothed average of past observations at
+// the same hour of the week. Alpha in (0,1] is the smoothing weight of the
+// newest observation.
+type ProfileEWMA struct {
+	Alpha float64
+}
+
+// Name implements Forecaster.
+func (p ProfileEWMA) Name() string { return fmt.Sprintf("profile-ewma-%.2f", p.Alpha) }
+
+// Forecast implements Forecaster.
+func (p ProfileEWMA) Forecast(truth *trace.Trace) *trace.Trace {
+	if p.Alpha <= 0 || p.Alpha > 1 {
+		panic("predict: ProfileEWMA requires alpha in (0,1]")
+	}
+	const week = trace.HoursPerWeek
+	profile := make([]float64, week)
+	seen := make([]bool, week)
+	out := make([]float64, truth.Len())
+	for t := range out {
+		h := t % week
+		if seen[h] {
+			out[t] = profile[h]
+		} else if t > 0 {
+			out[t] = truth.Values[t-1] // cold start: persistence
+		} else if truth.Len() > 0 {
+			out[t] = truth.Values[0]
+		}
+		// Learn from the realized value after forecasting it.
+		if seen[h] {
+			profile[h] = (1-p.Alpha)*profile[h] + p.Alpha*truth.Values[t]
+		} else {
+			profile[h] = truth.Values[t]
+			seen[h] = true
+		}
+	}
+	return &trace.Trace{Name: p.Name(), Values: out}
+}
+
+// NoisyOracle is the controllable error model used by the sensitivity
+// studies: the truth multiplied by independent uniform noise of up to
+// ±ErrFrac per hour (the same recipe prior work uses for prediction-error
+// robustness, and the paper's own MSR-trace construction).
+type NoisyOracle struct {
+	ErrFrac float64
+	Seed    uint64
+}
+
+// Name implements Forecaster.
+func (n NoisyOracle) Name() string { return fmt.Sprintf("noisy-oracle-%.0f%%", n.ErrFrac*100) }
+
+// Forecast implements Forecaster.
+func (n NoisyOracle) Forecast(truth *trace.Trace) *trace.Trace {
+	if n.ErrFrac < 0 || n.ErrFrac >= 1 {
+		panic("predict: NoisyOracle requires ErrFrac in [0,1)")
+	}
+	rng := stats.NewRNG(n.Seed)
+	out := make([]float64, truth.Len())
+	for t, v := range truth.Values {
+		out[t] = math.Max(0, v*(1+rng.Uniform(-n.ErrFrac, n.ErrFrac)))
+	}
+	return &trace.Trace{Name: n.Name(), Values: out}
+}
+
+// MAPE returns the mean absolute percentage error of a forecast against
+// the truth, skipping slots where the truth is (near) zero.
+func MAPE(truth, forecast *trace.Trace) float64 {
+	if truth.Len() != forecast.Len() {
+		panic("predict: MAPE length mismatch")
+	}
+	var sum float64
+	n := 0
+	for t, v := range truth.Values {
+		if v < 1e-12 {
+			continue
+		}
+		sum += math.Abs(forecast.Values[t]-v) / v
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}

@@ -1,0 +1,132 @@
+package predict
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func TestSeasonalNaive(t *testing.T) {
+	truth := &trace.Trace{Name: "x", Values: []float64{1, 2, 3, 4, 5, 6}}
+	f := SeasonalNaive{Period: 2}.Forecast(truth)
+	want := []float64{1, 1, 1, 2, 3, 4}
+	for i := range want {
+		if f.Values[i] != want[i] {
+			t.Errorf("forecast[%d] = %v, want %v", i, f.Values[i], want[i])
+		}
+	}
+}
+
+func TestSeasonalNaiveWeeklyAccuracy(t *testing.T) {
+	// On the FIU-like trace, weekly seasonal-naive should beat a wild guess
+	// by a wide margin: MAPE well under 30%.
+	truth := trace.FIUYear(1)
+	f := SeasonalNaive{Period: trace.HoursPerWeek}.Forecast(truth)
+	if m := MAPE(truth, f); m > 0.30 {
+		t.Errorf("weekly seasonal-naive MAPE = %v", m)
+	}
+}
+
+func TestSeasonalNaivePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	SeasonalNaive{Period: 0}.Forecast(trace.Constant("x", 1, 5))
+}
+
+func TestProfileEWMALearnsProfile(t *testing.T) {
+	// A perfectly periodic weekly signal must be forecast near-exactly
+	// after the first week.
+	vals := make([]float64, 4*trace.HoursPerWeek)
+	for i := range vals {
+		vals[i] = 1 + 0.5*math.Sin(2*math.Pi*float64(i%trace.HoursPerWeek)/168)
+	}
+	truth := &trace.Trace{Name: "periodic", Values: vals}
+	f := ProfileEWMA{Alpha: 0.5}.Forecast(truth)
+	for i := trace.HoursPerWeek; i < len(vals); i++ {
+		if math.Abs(f.Values[i]-vals[i]) > 1e-9 {
+			t.Fatalf("slot %d: forecast %v, truth %v", i, f.Values[i], vals[i])
+		}
+	}
+}
+
+func TestProfileEWMABeatsNaiveOnNoisyTrace(t *testing.T) {
+	truth := trace.FIUYear(3)
+	ewma := ProfileEWMA{Alpha: 0.3}.Forecast(truth)
+	if m := MAPE(truth, ewma); m > 0.35 {
+		t.Errorf("profile-EWMA MAPE = %v", m)
+	}
+}
+
+func TestProfileEWMAPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	ProfileEWMA{Alpha: 0}.Forecast(trace.Constant("x", 1, 5))
+}
+
+func TestNoisyOracleErrorBand(t *testing.T) {
+	truth := trace.FIUYear(5)
+	f := NoisyOracle{ErrFrac: 0.2, Seed: 9}.Forecast(truth)
+	for i, v := range f.Values {
+		lo, hi := truth.Values[i]*0.8, truth.Values[i]*1.2
+		if v < lo-1e-12 || v > hi+1e-12 {
+			t.Fatalf("slot %d: forecast %v outside ±20%% of %v", i, v, truth.Values[i])
+		}
+	}
+	// Zero error = the truth.
+	exact := NoisyOracle{ErrFrac: 0, Seed: 9}.Forecast(truth)
+	if MAPE(truth, exact) != 0 {
+		t.Error("zero-error oracle deviates from the truth")
+	}
+	// MAPE scales with the injected error.
+	m := MAPE(truth, f)
+	if m < 0.05 || m > 0.2 {
+		t.Errorf("±20%% oracle MAPE = %v, expected ≈ 0.10", m)
+	}
+}
+
+func TestNoisyOraclePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NoisyOracle{ErrFrac: 1.5}.Forecast(trace.Constant("x", 1, 5))
+}
+
+func TestMAPE(t *testing.T) {
+	truth := &trace.Trace{Values: []float64{10, 20, 0}}
+	fc := &trace.Trace{Values: []float64{11, 18, 99}}
+	// Zero-truth slot skipped: (0.1 + 0.1)/2.
+	if m := MAPE(truth, fc); math.Abs(m-0.1) > 1e-12 {
+		t.Errorf("MAPE = %v, want 0.1", m)
+	}
+	// All-zero truth: 0 by convention.
+	if m := MAPE(&trace.Trace{Values: []float64{0}}, &trace.Trace{Values: []float64{5}}); m != 0 {
+		t.Errorf("all-zero MAPE = %v", m)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for length mismatch")
+		}
+	}()
+	MAPE(truth, &trace.Trace{Values: []float64{1}})
+}
+
+func TestForecasterNames(t *testing.T) {
+	for _, f := range []Forecaster{
+		SeasonalNaive{Period: 168},
+		ProfileEWMA{Alpha: 0.3},
+		NoisyOracle{ErrFrac: 0.2},
+	} {
+		if f.Name() == "" {
+			t.Errorf("%T has empty name", f)
+		}
+	}
+}

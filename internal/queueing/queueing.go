@@ -1,0 +1,197 @@
+// Package queueing is an event-driven M/G/1/PS (processor-sharing)
+// simulator. The paper's delay cost Eq. (4) is the M/G/1/PS mean number in
+// system, λ/(x − λ); this package provides the discrete-event machinery to
+// validate that analytic model (including its celebrated insensitivity to
+// the service-time distribution beyond its mean) and to measure empirical
+// delays for configurations chosen by the resource-management algorithms.
+//
+// The simulator exploits the fair-share clock: under PS every job in the
+// system accumulates service at rate x/n(t), so with F(t) defined by
+// dF/dt = x/n(t), a job arriving at time a with requirement S completes
+// when F reaches F(a) + S. Tracking jobs in a min-heap keyed by that
+// completion level makes every event O(log n).
+package queueing
+
+import (
+	"container/heap"
+	"errors"
+	"math"
+
+	"repro/internal/stats"
+)
+
+// ServiceDist samples i.i.d. service requirements (in units of work; a
+// server at rate x completes one unit of work per 1/x seconds — so a
+// requirement of 1 at rate 10 takes 100 ms alone, the paper's §5.1 setup).
+type ServiceDist func(rng *stats.RNG) float64
+
+// ExponentialService returns an exponential requirement distribution with
+// the given mean.
+func ExponentialService(mean float64) ServiceDist {
+	return func(rng *stats.RNG) float64 { return rng.Exponential(1 / mean) }
+}
+
+// DeterministicService returns a constant requirement.
+func DeterministicService(mean float64) ServiceDist {
+	return func(*stats.RNG) float64 { return mean }
+}
+
+// HyperexpService returns a two-phase hyperexponential requirement with the
+// given mean and a coefficient of variation above 1 — a high-variance
+// distribution to exercise the PS insensitivity property. p balances the
+// two phases (0 < p < 1); phase means are mean/(2p) and mean/(2(1−p)).
+func HyperexpService(mean, p float64) ServiceDist {
+	if p <= 0 || p >= 1 {
+		panic("queueing: HyperexpService requires p in (0,1)")
+	}
+	m1 := mean / (2 * p)
+	m2 := mean / (2 * (1 - p))
+	return func(rng *stats.RNG) float64 {
+		if rng.Bernoulli(p) {
+			return rng.Exponential(1 / m1)
+		}
+		return rng.Exponential(1 / m2)
+	}
+}
+
+// Config configures one PS simulation run.
+type Config struct {
+	ArrivalRPS float64     // λ: Poisson arrival rate
+	ServiceRPS float64     // x: server speed in units of work per second
+	Service    ServiceDist // requirement distribution (mean 1 work-unit by convention)
+	Horizon    float64     // simulated seconds
+	Warmup     float64     // seconds discarded before measuring
+	Seed       uint64
+	MaxJobs    int // optional cap on in-system jobs (0 = unlimited); extra arrivals are dropped
+}
+
+// Result summarizes a run.
+type Result struct {
+	MeanJobs     float64 // time-averaged number in system (compare to λ/(x−λ))
+	MeanRespSec  float64 // mean response time of completed jobs
+	Completed    int
+	Dropped      int
+	UtilFraction float64 // measured busy fraction (compare to ρ = λ·E[S]/x)
+}
+
+// ErrBadConfig reports invalid simulation parameters.
+var ErrBadConfig = errors.New("queueing: invalid configuration")
+
+// job is one in-system customer keyed by the fair-share level at which it
+// finishes.
+type job struct {
+	doneAt  float64 // F level at completion
+	arrival float64 // wall-clock arrival time
+}
+
+type jobHeap []job
+
+func (h jobHeap) Len() int           { return len(h) }
+func (h jobHeap) Less(i, j int) bool { return h[i].doneAt < h[j].doneAt }
+func (h jobHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *jobHeap) Push(x any)        { *h = append(*h, x.(job)) }
+func (h *jobHeap) Pop() any          { old := *h; n := len(old); it := old[n-1]; *h = old[:n-1]; return it }
+func (h jobHeap) Peek() job          { return h[0] }
+
+// Simulate runs the event-driven M/G/1/PS simulation.
+func Simulate(cfg Config) (Result, error) {
+	if cfg.ArrivalRPS < 0 || cfg.ServiceRPS <= 0 || cfg.Service == nil || cfg.Horizon <= 0 {
+		return Result{}, ErrBadConfig
+	}
+	if cfg.Warmup < 0 || cfg.Warmup >= cfg.Horizon {
+		return Result{}, ErrBadConfig
+	}
+	rng := stats.NewRNG(cfg.Seed)
+
+	var (
+		now      float64 // wall clock
+		fair     float64 // fair-share clock F(t)
+		h        jobHeap
+		res      Result
+		areaJobs float64 // ∫ n dt after warmup
+		busyTime float64 // time with n > 0 after warmup
+		respSum  float64
+		measured float64 // time measured
+	)
+	nextArrival := now
+	if cfg.ArrivalRPS > 0 {
+		nextArrival = now + rng.Exponential(cfg.ArrivalRPS)
+	} else {
+		nextArrival = math.Inf(1)
+	}
+
+	advance := func(to float64) {
+		dt := to - now
+		if dt < 0 {
+			dt = 0
+		}
+		n := float64(len(h))
+		if now >= cfg.Warmup {
+			areaJobs += n * dt
+			measured += dt
+			if n > 0 {
+				busyTime += dt
+			}
+		} else if to > cfg.Warmup {
+			// Split the interval at the warmup boundary.
+			post := to - cfg.Warmup
+			areaJobs += n * post
+			measured += post
+			if n > 0 {
+				busyTime += post
+			}
+		}
+		if n > 0 {
+			fair += dt * cfg.ServiceRPS / n
+		}
+		now = to
+	}
+
+	for now < cfg.Horizon {
+		// Next completion in wall-clock terms.
+		nextDone := math.Inf(1)
+		if len(h) > 0 {
+			nextDone = now + (h.Peek().doneAt-fair)*float64(len(h))/cfg.ServiceRPS
+		}
+		next := math.Min(nextArrival, nextDone)
+		if next > cfg.Horizon {
+			advance(cfg.Horizon)
+			break
+		}
+		advance(next)
+		if next == nextDone && len(h) > 0 {
+			j := heap.Pop(&h).(job)
+			if j.arrival >= cfg.Warmup {
+				res.Completed++
+				respSum += now - j.arrival
+			}
+			continue
+		}
+		// Arrival.
+		if cfg.MaxJobs > 0 && len(h) >= cfg.MaxJobs {
+			res.Dropped++
+		} else {
+			heap.Push(&h, job{doneAt: fair + cfg.Service(rng), arrival: now})
+		}
+		nextArrival = now + rng.Exponential(cfg.ArrivalRPS)
+	}
+
+	if measured > 0 {
+		res.MeanJobs = areaJobs / measured
+		res.UtilFraction = busyTime / measured
+	}
+	if res.Completed > 0 {
+		res.MeanRespSec = respSum / float64(res.Completed)
+	}
+	return res, nil
+}
+
+// AnalyticMeanJobs returns the M/G/1/PS prediction λ/(x − λ) used by the
+// paper's delay cost (Eq. 4), with service requirements of mean 1 work-unit
+// so that utilization is ρ = λ/x. It returns +Inf at or beyond saturation.
+func AnalyticMeanJobs(arrivalRPS, serviceRPS float64) float64 {
+	if arrivalRPS >= serviceRPS {
+		return math.Inf(1)
+	}
+	return arrivalRPS / (serviceRPS - arrivalRPS)
+}

@@ -1,0 +1,187 @@
+package queueing
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMeanJobsMatchesAnalytic(t *testing.T) {
+	// E[N] = ρ/(1−ρ) for M/M/1 ≡ M/M/1/PS.
+	for _, rho := range []float64{0.3, 0.5, 0.7, 0.85} {
+		cfg := Config{
+			ArrivalRPS: rho * 10,
+			ServiceRPS: 10,
+			Service:    ExponentialService(1),
+			Horizon:    60000,
+			Warmup:     3000,
+			Seed:       1,
+		}
+		res, err := Simulate(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := AnalyticMeanJobs(cfg.ArrivalRPS, cfg.ServiceRPS)
+		if math.Abs(res.MeanJobs-want) > 0.08*want+0.05 {
+			t.Errorf("ρ=%v: mean jobs %v, analytic %v", rho, res.MeanJobs, want)
+		}
+		if math.Abs(res.UtilFraction-rho) > 0.03 {
+			t.Errorf("ρ=%v: measured utilization %v", rho, res.UtilFraction)
+		}
+	}
+}
+
+func TestPSInsensitivity(t *testing.T) {
+	// The PS mean number in system depends on the service distribution only
+	// through its mean — the property that justifies using Eq. (4) for
+	// general ("mice-type") workloads.
+	const rho = 0.7
+	base := Config{
+		ArrivalRPS: rho * 10,
+		ServiceRPS: 10,
+		Horizon:    80000,
+		Warmup:     4000,
+		Seed:       2,
+	}
+	want := AnalyticMeanJobs(base.ArrivalRPS, base.ServiceRPS)
+	dists := map[string]ServiceDist{
+		"exponential":   ExponentialService(1),
+		"deterministic": DeterministicService(1),
+		"hyperexp":      HyperexpService(1, 0.15),
+	}
+	for name, d := range dists {
+		cfg := base
+		cfg.Service = d
+		res, err := Simulate(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(res.MeanJobs-want) > 0.12*want {
+			t.Errorf("%s: mean jobs %v, want ≈ %v (insensitivity violated)",
+				name, res.MeanJobs, want)
+		}
+	}
+}
+
+func TestLittlesLaw(t *testing.T) {
+	cfg := Config{
+		ArrivalRPS: 6,
+		ServiceRPS: 10,
+		Service:    ExponentialService(1),
+		Horizon:    50000,
+		Warmup:     2000,
+		Seed:       3,
+	}
+	res, err := Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// N = λ·T (no drops here, so effective λ is the offered λ).
+	n := cfg.ArrivalRPS * res.MeanRespSec
+	if math.Abs(n-res.MeanJobs) > 0.1*res.MeanJobs {
+		t.Errorf("Little's law: λT = %v vs N = %v", n, res.MeanJobs)
+	}
+}
+
+func TestPaperServiceTimes(t *testing.T) {
+	// §5.1: mean service time 100 ms at full speed (x = 10 req/s). A lone
+	// job must take ≈ 100 ms.
+	cfg := Config{
+		ArrivalRPS: 0.01, // essentially always alone
+		ServiceRPS: 10,
+		Service:    ExponentialService(1),
+		Horizon:    2e6,
+		Warmup:     1000,
+		Seed:       4,
+	}
+	res, err := Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.MeanRespSec-0.1) > 0.01 {
+		t.Errorf("lone-job response = %v s, want ≈ 0.1", res.MeanRespSec)
+	}
+}
+
+func TestMaxJobsDrops(t *testing.T) {
+	cfg := Config{
+		ArrivalRPS: 20, // overloaded
+		ServiceRPS: 10,
+		Service:    ExponentialService(1),
+		Horizon:    5000,
+		Warmup:     100,
+		Seed:       5,
+		MaxJobs:    50,
+	}
+	res, err := Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Dropped == 0 {
+		t.Error("overloaded finite queue never dropped")
+	}
+	if res.MeanJobs > 51 {
+		t.Errorf("mean jobs %v exceeds cap", res.MeanJobs)
+	}
+}
+
+func TestZeroArrivals(t *testing.T) {
+	cfg := Config{
+		ArrivalRPS: 0,
+		ServiceRPS: 10,
+		Service:    ExponentialService(1),
+		Horizon:    100,
+		Seed:       6,
+	}
+	res, err := Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MeanJobs != 0 || res.Completed != 0 {
+		t.Errorf("empty system: %+v", res)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{ArrivalRPS: -1, ServiceRPS: 1, Service: ExponentialService(1), Horizon: 1},
+		{ArrivalRPS: 1, ServiceRPS: 0, Service: ExponentialService(1), Horizon: 1},
+		{ArrivalRPS: 1, ServiceRPS: 1, Service: nil, Horizon: 1},
+		{ArrivalRPS: 1, ServiceRPS: 1, Service: ExponentialService(1), Horizon: 0},
+		{ArrivalRPS: 1, ServiceRPS: 1, Service: ExponentialService(1), Horizon: 1, Warmup: 2},
+	}
+	for i, cfg := range bad {
+		if _, err := Simulate(cfg); err != ErrBadConfig {
+			t.Errorf("case %d: want ErrBadConfig, got %v", i, err)
+		}
+	}
+}
+
+func TestDeterministicBySeed(t *testing.T) {
+	cfg := Config{
+		ArrivalRPS: 5, ServiceRPS: 10, Service: ExponentialService(1),
+		Horizon: 1000, Warmup: 10, Seed: 7,
+	}
+	a, _ := Simulate(cfg)
+	b, _ := Simulate(cfg)
+	if a != b {
+		t.Error("same seed gave different results")
+	}
+}
+
+func TestHyperexpPanicsOnBadP(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	HyperexpService(1, 1.5)
+}
+
+func TestAnalyticSaturation(t *testing.T) {
+	if !math.IsInf(AnalyticMeanJobs(10, 10), 1) {
+		t.Error("saturated queue should predict +Inf")
+	}
+	if got := AnalyticMeanJobs(5, 10); got != 1 {
+		t.Errorf("ρ=0.5 analytic = %v, want 1", got)
+	}
+}

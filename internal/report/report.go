@@ -1,0 +1,217 @@
+// Package report renders experiment outputs: aligned text tables matching
+// the rows the paper's figures plot, CSV export for external plotting, and
+// compact ASCII line charts for quick visual inspection of time series in a
+// terminal.
+package report
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Table is a simple column-aligned table.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends a row; values are formatted with %v, floats compactly.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = formatFloat(v)
+		case string:
+			row[i] = v
+		default:
+			row[i] = fmt.Sprintf("%v", v)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+func formatFloat(v float64) string {
+	switch {
+	case math.IsNaN(v):
+		return "NaN"
+	case math.IsInf(v, 0):
+		return "Inf"
+	case v == 0:
+		return "0"
+	case math.Abs(v) >= 1e6 || math.Abs(v) < 1e-3:
+		return strconv.FormatFloat(v, 'e', 3, 64)
+	default:
+		return strconv.FormatFloat(v, 'f', 3, 64)
+	}
+}
+
+// Render writes the table as aligned text.
+func (t *Table) Render(w io.Writer) error {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// WriteCSV exports the table (headers + rows) as CSV.
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Headers); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Chart renders a ±height-row ASCII line chart of the series, downsampling
+// to the given width by bucket means. It is intentionally rough — good
+// enough to see the Fig. 2/3 trends in a terminal.
+func Chart(w io.Writer, title string, series []float64, width, height int) error {
+	if width <= 0 {
+		width = 72
+	}
+	if height <= 0 {
+		height = 12
+	}
+	ds := Downsample(series, width)
+	if len(ds) == 0 {
+		_, err := fmt.Fprintf(w, "%s: (empty)\n", title)
+		return err
+	}
+	lo, hi := ds[0], ds[0]
+	for _, v := range ds {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", len(ds)))
+	}
+	for c, v := range ds {
+		r := int((hi - v) / (hi - lo) * float64(height-1))
+		grid[r][c] = '*'
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s  [min %s, max %s]\n", title, formatFloat(lo), formatFloat(hi))
+	for r, line := range grid {
+		label := "        "
+		if r == 0 {
+			label = padLabel(hi)
+		} else if r == height-1 {
+			label = padLabel(lo)
+		}
+		fmt.Fprintf(&b, "%s |%s|\n", label, line)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func padLabel(v float64) string {
+	s := formatFloat(v)
+	if len(s) > 8 {
+		s = s[:8]
+	}
+	return fmt.Sprintf("%8s", s)
+}
+
+// Downsample reduces a series to at most width points by bucket means.
+func Downsample(series []float64, width int) []float64 {
+	if len(series) <= width || width <= 0 {
+		return append([]float64(nil), series...)
+	}
+	out := make([]float64, width)
+	for i := 0; i < width; i++ {
+		lo := i * len(series) / width
+		hi := (i + 1) * len(series) / width
+		if hi <= lo {
+			hi = lo + 1
+		}
+		var sum float64
+		for _, v := range series[lo:hi] {
+			sum += v
+		}
+		out[i] = sum / float64(hi-lo)
+	}
+	return out
+}
+
+// SeriesCSV writes aligned multi-series CSV: one row per index with the
+// given column names.
+func SeriesCSV(w io.Writer, index []float64, indexName string, cols map[string][]float64, order []string) error {
+	cw := csv.NewWriter(w)
+	header := append([]string{indexName}, order...)
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for i := range index {
+		row := make([]string, 0, len(header))
+		row = append(row, strconv.FormatFloat(index[i], 'g', -1, 64))
+		for _, name := range order {
+			s := cols[name]
+			if i < len(s) {
+				row = append(row, strconv.FormatFloat(s[i], 'g', -1, 64))
+			} else {
+				row = append(row, "")
+			}
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

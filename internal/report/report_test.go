@@ -1,0 +1,128 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tb := NewTable("demo", "name", "value")
+	tb.AddRow("alpha", 1.5)
+	tb.AddRow("beta", 2)
+	var buf bytes.Buffer
+	if err := tb.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"== demo ==", "name", "value", "alpha", "1.500", "beta"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, separator, two rows
+		t.Errorf("line count = %d", len(lines))
+	}
+}
+
+func TestFormatFloatRanges(t *testing.T) {
+	cases := map[float64]string{
+		0:    "0",
+		1e9:  "1.000e+09",
+		1e-6: "1.000e-06",
+	}
+	for v, want := range cases {
+		if got := formatFloat(v); got != want {
+			t.Errorf("formatFloat(%v) = %q, want %q", v, got, want)
+		}
+	}
+	if got := formatFloat(3.14159); got != "3.142" {
+		t.Errorf("formatFloat(pi) = %q", got)
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := NewTable("x", "a", "b")
+	tb.AddRow(1.0, "two")
+	var buf bytes.Buffer
+	if err := tb.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := "a,b\n1.000,two\n"
+	if buf.String() != want {
+		t.Errorf("CSV = %q, want %q", buf.String(), want)
+	}
+}
+
+func TestChart(t *testing.T) {
+	series := make([]float64, 500)
+	for i := range series {
+		series[i] = float64(i % 100)
+	}
+	var buf bytes.Buffer
+	if err := Chart(&buf, "sawtooth", series, 60, 8); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "sawtooth") || !strings.Contains(out, "*") {
+		t.Errorf("chart missing content:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 9 { // title + 8 rows
+		t.Errorf("chart rows = %d", len(lines))
+	}
+}
+
+func TestChartDegenerate(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Chart(&buf, "empty", nil, 10, 4); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "(empty)") {
+		t.Error("empty series not reported")
+	}
+	buf.Reset()
+	if err := Chart(&buf, "flat", []float64{5, 5, 5}, 10, 4); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "*") {
+		t.Error("flat series missing marks")
+	}
+}
+
+func TestDownsample(t *testing.T) {
+	s := []float64{1, 2, 3, 4, 5, 6}
+	got := Downsample(s, 3)
+	want := []float64{1.5, 3.5, 5.5}
+	if len(got) != 3 {
+		t.Fatalf("len = %d", len(got))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("bucket %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+	// Short series returned as-is (copied).
+	short := Downsample(s, 10)
+	if len(short) != 6 {
+		t.Errorf("short downsample len = %d", len(short))
+	}
+	short[0] = 99
+	if s[0] == 99 {
+		t.Error("Downsample aliases input")
+	}
+}
+
+func TestSeriesCSV(t *testing.T) {
+	var buf bytes.Buffer
+	err := SeriesCSV(&buf, []float64{0, 1}, "t",
+		map[string][]float64{"a": {10, 20}, "b": {30}}, []string{"a", "b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "t,a,b\n0,10,30\n1,20,\n"
+	if buf.String() != want {
+		t.Errorf("CSV = %q, want %q", buf.String(), want)
+	}
+}

@@ -1,0 +1,128 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dcmodel"
+	"repro/internal/trace"
+)
+
+func TestTariffChangesElectricityCost(t *testing.T) {
+	sc := testScenario(3)
+	tariff, err := dcmodel.NewTieredTariff([]dcmodel.Tier{
+		{UpToKWh: 5, Mult: 1},
+		{UpToKWh: math.Inf(1), Mult: 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc.Tariff = tariff
+	res, err := Run(sc, &fixedPolicy{cfg: Config{Speed: 4, Active: 50}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := res.Records[0]
+	// Grid draw is 7.73 kWh: 5 at 1× plus 2.73 at 3×, priced at 0.05 $/kWh.
+	want := 0.05 * (5 + 3*2.73)
+	if math.Abs(r.ElectricityUSD-want) > 1e-9 {
+		t.Errorf("tiered electricity = %v, want %v", r.ElectricityUSD, want)
+	}
+	// Grid energy itself (carbon accounting) is unchanged by the tariff.
+	if math.Abs(r.GridKWh-7.73) > 1e-9 {
+		t.Errorf("grid = %v", r.GridKWh)
+	}
+}
+
+func TestMaxPowerRejectsViolation(t *testing.T) {
+	sc := testScenario(3)
+	sc.MaxPowerKW = 5 // the fixed config draws 9.73 kW
+	if _, err := Run(sc, &fixedPolicy{cfg: Config{Speed: 4, Active: 50}}); err == nil {
+		t.Error("peak-power violation accepted")
+	}
+	sc.MaxPowerKW = 50
+	if _, err := Run(sc, &fixedPolicy{cfg: Config{Speed: 4, Active: 50}}); err != nil {
+		t.Errorf("loose cap rejected: %v", err)
+	}
+}
+
+func TestMaxDelayRejectsViolation(t *testing.T) {
+	sc := testScenario(3)
+	sc.MaxDelayCost = 10 // the fixed config has delay 75
+	if _, err := Run(sc, &fixedPolicy{cfg: Config{Speed: 4, Active: 50}}); err == nil {
+		t.Error("delay violation accepted")
+	}
+}
+
+func TestNegativeConstraintRejected(t *testing.T) {
+	sc := testScenario(3)
+	sc.MaxPowerKW = -1
+	if err := sc.Validate(); err == nil {
+		t.Error("negative constraint accepted")
+	}
+}
+
+func TestNetworkDelayAddsToAccounting(t *testing.T) {
+	sc := testScenario(3)
+	base, err := Run(sc, &fixedPolicy{cfg: Config{Speed: 4, Active: 50}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc.NetworkDelaySec = trace.Constant("net", 0.02, 3)
+	withNet, err := Run(sc, &fixedPolicy{cfg: Config{Speed: 4, Active: 50}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// λ = 300, T_net = 0.02 → +6 jobs-in-system equivalent.
+	got := withNet.Records[0].DelayCost - base.Records[0].DelayCost
+	if math.Abs(got-6) > 1e-9 {
+		t.Errorf("network delay contribution = %v, want 6", got)
+	}
+	// Short trace rejected.
+	sc.NetworkDelaySec = trace.Constant("net", 0.02, 1)
+	if err := sc.Validate(); err == nil {
+		t.Error("short network-delay trace accepted")
+	}
+}
+
+func TestSummarizeWithTrueUp(t *testing.T) {
+	sc := testScenario(10)
+	res, err := Run(sc, &fixedPolicy{cfg: Config{Speed: 4, Active: 50}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain := Summarize(sc, res)
+	// Grid 77.3 kWh vs budget 40 → shortfall 37.3.
+	if math.Abs(plain.ShortfallKWh-37.3) > 1e-6 {
+		t.Fatalf("shortfall = %v, want 37.3", plain.ShortfallKWh)
+	}
+	if plain.TrueUpUSD != 0 {
+		t.Error("plain summary should not price the shortfall")
+	}
+	trued := SummarizeWithTrueUp(sc, res, 0.02)
+	if math.Abs(trued.TrueUpUSD-37.3*0.02) > 1e-9 {
+		t.Errorf("true-up = %v", trued.TrueUpUSD)
+	}
+	wantAvg := plain.AvgHourlyCostUSD + trued.TrueUpUSD/10
+	if math.Abs(trued.AvgHourlyCostUSD-wantAvg) > 1e-9 {
+		t.Errorf("amortized cost = %v, want %v", trued.AvgHourlyCostUSD, wantAvg)
+	}
+	// Negative REC price treated as zero.
+	free := SummarizeWithTrueUp(sc, res, -1)
+	if free.TrueUpUSD != 0 {
+		t.Error("negative REC price should be clamped")
+	}
+}
+
+func TestTrueUpZeroWhenNeutral(t *testing.T) {
+	sc := testScenario(10)
+	sc.Portfolio.RECsKWh = 1e9 // enormous budget
+	res, err := Run(sc, &fixedPolicy{cfg: Config{Speed: 4, Active: 50}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := SummarizeWithTrueUp(sc, res, 0.02)
+	if s.ShortfallKWh != 0 || s.TrueUpUSD != 0 {
+		t.Errorf("neutral run has shortfall %v / true-up %v", s.ShortfallKWh, s.TrueUpUSD)
+	}
+}

@@ -1,0 +1,393 @@
+// Package sim is the discrete-time (hourly-slot) simulation engine that
+// drives resource-management policies over a budgeting period, mirroring
+// the paper's trace-based evaluation (§5). Each slot the engine shows a
+// policy the currently known environment — workload arrival rate λ(t),
+// on-site renewable supply r(t) and electricity price w(t), optionally
+// overestimated by the φ factor of the Fig. 5(c) study — receives a fleet
+// configuration (a speed level and an active-server count for the paper's
+// homogeneous §5.1 deployment), operates that configuration against the
+// *true* arrivals, charges electricity, delay and switching costs, and
+// finally reveals the realized off-site generation f(t) so online policies
+// can update their carbon-deficit queues.
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/dcmodel"
+	"repro/internal/renewable"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// Observation is the information available to a policy at the beginning of
+// a slot (the paper's hour-ahead knowledge: λ(t), r(t), w(t) — but not
+// f(t), which is realized only at the end of the slot).
+type Observation struct {
+	Slot           int
+	LambdaRPS      float64
+	OnsiteKW       float64
+	PriceUSDPerKWh float64
+}
+
+// Config is a fleet configuration for one slot of the homogeneous
+// deployment: Active servers all running at speed level Speed.
+type Config struct {
+	Speed  int
+	Active int
+}
+
+// Feedback is revealed to the policy after the slot has been operated.
+type Feedback struct {
+	Slot       int
+	GridKWh    float64 // realized y(t) = [p − r]^+
+	OffsiteKWh float64 // realized f(t)
+	TotalUSD   float64 // realized slot cost including switching
+}
+
+// Policy is a per-slot decision maker.
+type Policy interface {
+	// Name identifies the policy in reports.
+	Name() string
+	// Decide returns the configuration for the slot.
+	Decide(obs Observation) (Config, error)
+	// Observe delivers the slot's realized outcome.
+	Observe(fb Feedback)
+}
+
+// Scenario bundles everything the engine needs for a run.
+type Scenario struct {
+	Server dcmodel.ServerType
+	N      int     // fleet size
+	Gamma  float64 // γ utilization cap
+	PUE    float64
+	Beta   float64 // β delay weight
+
+	Workload  *trace.Trace         // λ(t) in RPS
+	Price     *trace.Trace         // w(t) in $/kWh
+	Portfolio *renewable.Portfolio // r(t), f(t), Z, α
+
+	Slots int // horizon J
+
+	// Overestimate is the φ ≥ 1 factor of Fig. 5(c): policies see φ·λ(t)
+	// (clamped to fleet capacity) while costs use the true λ(t). Zero means
+	// 1 (no overestimation).
+	Overestimate float64
+
+	// SwitchCostKWh is the energy-equivalent cost of toggling one server on
+	// or off (Fig. 5(d); the paper normalizes against 0.231 kWh). Charged at
+	// the slot's electricity price. It is also exposed to policies via the
+	// observation-independent accessor so they can internalize it.
+	SwitchCostKWh float64
+
+	// Tariff optionally replaces the linear electricity cost with a convex
+	// nonlinear one (§2.1): the slot's electricity cost becomes
+	// w(t)·Tariff.Cost(grid). Nil means the paper's default linear tariff.
+	Tariff dcmodel.Tariff
+
+	// MaxPowerKW and MaxDelayCost are the optional §3.1 per-slot
+	// constraints; configurations violating them are rejected by the
+	// engine. Zero disables.
+	MaxPowerKW   float64
+	MaxDelayCost float64
+
+	// NetworkDelaySec is the optional time-varying mean network delay
+	// between users and the data center (§2.3): it adds λ(t)·T_net(t) to
+	// the recorded delay cost. Being decision-independent it does not
+	// change any policy's optimum, only the accounting. Nil disables.
+	NetworkDelaySec *trace.Trace
+}
+
+// Validate reports whether the scenario is well formed.
+func (sc *Scenario) Validate() error {
+	if err := sc.Server.Validate(); err != nil {
+		return err
+	}
+	if sc.N <= 0 {
+		return fmt.Errorf("sim: fleet size %d", sc.N)
+	}
+	if sc.Gamma <= 0 || sc.Gamma >= 1 {
+		return fmt.Errorf("sim: gamma %v outside (0,1)", sc.Gamma)
+	}
+	if sc.PUE < 1 {
+		return fmt.Errorf("sim: PUE %v below 1", sc.PUE)
+	}
+	if sc.Beta < 0 {
+		return fmt.Errorf("sim: negative beta %v", sc.Beta)
+	}
+	if sc.Slots <= 0 {
+		return fmt.Errorf("sim: horizon %d", sc.Slots)
+	}
+	if sc.Workload == nil || sc.Workload.Len() < sc.Slots {
+		return errors.New("sim: workload trace missing or shorter than horizon")
+	}
+	if sc.Price == nil || sc.Price.Len() < sc.Slots {
+		return errors.New("sim: price trace missing or shorter than horizon")
+	}
+	if sc.Portfolio == nil {
+		return errors.New("sim: missing renewable portfolio")
+	}
+	if err := sc.Portfolio.Validate(sc.Slots); err != nil {
+		return err
+	}
+	if sc.Overestimate != 0 && sc.Overestimate < 1 {
+		return fmt.Errorf("sim: overestimation factor %v below 1", sc.Overestimate)
+	}
+	if sc.SwitchCostKWh < 0 {
+		return fmt.Errorf("sim: negative switching cost")
+	}
+	if sc.MaxPowerKW < 0 || sc.MaxDelayCost < 0 {
+		return fmt.Errorf("sim: negative per-slot constraint")
+	}
+	if sc.NetworkDelaySec != nil && sc.NetworkDelaySec.Len() < sc.Slots {
+		return errors.New("sim: network-delay trace shorter than horizon")
+	}
+	maxLambda := stats.MaxOf(sc.Workload.Values[:sc.Slots])
+	if maxLambda > sc.Capacity() {
+		return fmt.Errorf("sim: peak workload %v exceeds usable capacity %v", maxLambda, sc.Capacity())
+	}
+	return nil
+}
+
+// Capacity returns the γ-discounted top-speed fleet capacity in RPS.
+func (sc *Scenario) Capacity() float64 {
+	return sc.Gamma * float64(sc.N) * sc.Server.MaxRate()
+}
+
+// Observe builds the (possibly overestimated) observation for slot t.
+func (sc *Scenario) Observe(t int) Observation {
+	lambda := sc.Workload.Values[t]
+	if sc.Overestimate > 1 {
+		lambda = math.Min(lambda*sc.Overestimate, sc.Capacity())
+	}
+	return Observation{
+		Slot:           t,
+		LambdaRPS:      lambda,
+		OnsiteKW:       sc.Portfolio.OnsiteKW.Values[t],
+		PriceUSDPerKWh: sc.Price.Values[t],
+	}
+}
+
+// SlotRecord is the full accounting of one operated slot.
+type SlotRecord struct {
+	Slot           int
+	LambdaRPS      float64
+	PriceUSDPerKWh float64
+	OnsiteKW       float64
+	OffsiteKWh     float64
+
+	Speed  int
+	Active int
+
+	PowerKW        float64
+	GridKWh        float64
+	ElectricityUSD float64
+	DelayCost      float64
+	DelayUSD       float64
+	SwitchUSD      float64
+	TotalUSD       float64
+
+	// DeficitKWh is this slot's budget overrun y(t) − α·f(t) − z (can be
+	// negative); its running average is the paper's "carbon deficit".
+	DeficitKWh float64
+}
+
+// Result is a completed run.
+type Result struct {
+	Policy  string
+	Records []SlotRecord
+}
+
+// ErrOverload is returned when a policy's configuration cannot legally
+// carry the slot's true arrivals (the paper's model never drops workload).
+var ErrOverload = errors.New("sim: configuration cannot carry the offered load")
+
+// Run drives the policy over the scenario's horizon.
+func Run(sc *Scenario, p Policy) (*Result, error) {
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	res := &Result{Policy: p.Name(), Records: make([]SlotRecord, 0, sc.Slots)}
+	prevActive := 0
+	zPerSlot := sc.Portfolio.RECPerSlotKWh(sc.Slots)
+	for t := 0; t < sc.Slots; t++ {
+		obs := sc.Observe(t)
+		cfg, err := p.Decide(obs)
+		if err != nil {
+			return nil, fmt.Errorf("sim: slot %d: %w", t, err)
+		}
+		rec, err := sc.operate(t, cfg, prevActive, zPerSlot)
+		if err != nil {
+			return nil, fmt.Errorf("sim: slot %d: %w", t, err)
+		}
+		res.Records = append(res.Records, rec)
+		p.Observe(Feedback{
+			Slot:       t,
+			GridKWh:    rec.GridKWh,
+			OffsiteKWh: rec.OffsiteKWh,
+			TotalUSD:   rec.TotalUSD,
+		})
+		prevActive = cfg.Active
+	}
+	return res, nil
+}
+
+// operate charges one slot of the given configuration against the true
+// environment.
+func (sc *Scenario) operate(t int, cfg Config, prevActive int, zPerSlot float64) (SlotRecord, error) {
+	lambda := sc.Workload.Values[t]
+	price := sc.Price.Values[t]
+	onsite := sc.Portfolio.OnsiteKW.Values[t]
+	offsite := sc.Portfolio.OffsiteKWh.Values[t]
+
+	rec := SlotRecord{
+		Slot: t, LambdaRPS: lambda, PriceUSDPerKWh: price,
+		OnsiteKW: onsite, OffsiteKWh: offsite,
+		Speed: cfg.Speed, Active: cfg.Active,
+	}
+	if cfg.Active < 0 || cfg.Active > sc.N {
+		return rec, fmt.Errorf("%w: active=%d of %d", ErrOverload, cfg.Active, sc.N)
+	}
+	if cfg.Speed < 0 || cfg.Speed > sc.Server.NumSpeeds() {
+		return rec, fmt.Errorf("sim: speed index %d out of range", cfg.Speed)
+	}
+	if lambda > 0 {
+		if cfg.Active == 0 || cfg.Speed == 0 {
+			return rec, ErrOverload
+		}
+		perServer := lambda / float64(cfg.Active)
+		if perServer > sc.Gamma*sc.Server.Rate(cfg.Speed)*(1+1e-9) {
+			return rec, fmt.Errorf("%w: per-server load %v exceeds γ·x = %v",
+				ErrOverload, perServer, sc.Gamma*sc.Server.Rate(cfg.Speed))
+		}
+	}
+	if cfg.Active > 0 && cfg.Speed > 0 {
+		g := dcmodel.Group{Type: sc.Server, N: cfg.Active}
+		rec.PowerKW = sc.PUE * g.PowerKW(cfg.Speed, lambda)
+		rec.DelayCost = g.DelayCost(cfg.Speed, lambda)
+	}
+	if sc.MaxPowerKW > 0 && rec.PowerKW > sc.MaxPowerKW*(1+1e-9) {
+		return rec, fmt.Errorf("sim: power %v kW exceeds the peak-power cap %v", rec.PowerKW, sc.MaxPowerKW)
+	}
+	if sc.MaxDelayCost > 0 && rec.DelayCost > sc.MaxDelayCost*(1+1e-9) {
+		return rec, fmt.Errorf("sim: delay cost %v exceeds the cap %v", rec.DelayCost, sc.MaxDelayCost)
+	}
+	if sc.NetworkDelaySec != nil {
+		rec.DelayCost += lambda * sc.NetworkDelaySec.Values[t]
+	}
+	rec.GridKWh = math.Max(0, rec.PowerKW-onsite)
+	if sc.Tariff != nil {
+		rec.ElectricityUSD = price * sc.Tariff.Cost(rec.GridKWh)
+	} else {
+		rec.ElectricityUSD = price * rec.GridKWh
+	}
+	rec.DelayUSD = sc.Beta * rec.DelayCost
+	rec.SwitchUSD = price * sc.SwitchCostKWh * math.Abs(float64(cfg.Active-prevActive))
+	rec.TotalUSD = rec.ElectricityUSD + rec.DelayUSD + rec.SwitchUSD
+	rec.DeficitKWh = rec.GridKWh - sc.Portfolio.Alpha*offsite - zPerSlot
+	return rec, nil
+}
+
+// Summary aggregates a run for reporting.
+type Summary struct {
+	Policy string
+	Slots  int
+
+	AvgHourlyCostUSD    float64
+	AvgElectricityUSD   float64
+	AvgDelayUSD         float64
+	AvgSwitchUSD        float64
+	TotalGridKWh        float64
+	TotalEnergyKWh      float64 // facility consumption including on-site-covered power
+	AvgDeficitKWh       float64 // average hourly carbon deficit
+	FinalRunningDeficit float64 // cumulative deficit at the end (can be negative)
+	BudgetKWh           float64
+	BudgetUsedFraction  float64 // grid usage / budget: ≤ 1 means carbon neutral
+
+	// ShortfallKWh is the grid energy beyond the budget that would have to
+	// be offset by buying extra RECs at the end of the period — the §4.3
+	// remedy for the bounded neutrality deviation ("data centers may
+	// purchase additional RECs at the end of a budgeting period to offset
+	// the remaining electricity usage"). Zero when neutral.
+	ShortfallKWh float64
+	// TrueUpUSD prices the shortfall at recPriceUSDPerKWh (see
+	// SummarizeWithTrueUp); zero in plain Summarize.
+	TrueUpUSD float64
+}
+
+// Summarize computes the run's aggregates against the scenario's budget.
+func Summarize(sc *Scenario, res *Result) Summary {
+	s := Summary{Policy: res.Policy, Slots: len(res.Records)}
+	var cost, elec, delay, sw, grid, energy, deficit float64
+	for _, r := range res.Records {
+		cost += r.TotalUSD
+		elec += r.ElectricityUSD
+		delay += r.DelayUSD
+		sw += r.SwitchUSD
+		grid += r.GridKWh
+		energy += r.PowerKW
+		deficit += r.DeficitKWh
+	}
+	n := float64(len(res.Records))
+	if n == 0 {
+		return s
+	}
+	s.AvgHourlyCostUSD = cost / n
+	s.AvgElectricityUSD = elec / n
+	s.AvgDelayUSD = delay / n
+	s.AvgSwitchUSD = sw / n
+	s.TotalGridKWh = grid
+	s.TotalEnergyKWh = energy
+	s.AvgDeficitKWh = deficit / n
+	s.FinalRunningDeficit = deficit
+	s.BudgetKWh = sc.Portfolio.BudgetKWh(sc.Slots)
+	if s.BudgetKWh > 0 {
+		s.BudgetUsedFraction = grid / s.BudgetKWh
+	}
+	if grid > s.BudgetKWh {
+		s.ShortfallKWh = grid - s.BudgetKWh
+	}
+	return s
+}
+
+// SummarizeWithTrueUp is Summarize plus the §4.3 end-of-period REC
+// purchase: any budget shortfall is priced at recPriceUSDPerKWh and folded
+// into TrueUpUSD (and, amortized per slot, into AvgHourlyCostUSD), making
+// every policy exactly carbon neutral at a cost.
+func SummarizeWithTrueUp(sc *Scenario, res *Result, recPriceUSDPerKWh float64) Summary {
+	s := Summarize(sc, res)
+	if recPriceUSDPerKWh < 0 {
+		recPriceUSDPerKWh = 0
+	}
+	s.TrueUpUSD = s.ShortfallKWh * recPriceUSDPerKWh
+	if s.Slots > 0 {
+		s.AvgHourlyCostUSD += s.TrueUpUSD / float64(s.Slots)
+	}
+	return s
+}
+
+// Series extracts one metric from the records.
+func (r *Result) Series(f func(SlotRecord) float64) []float64 {
+	out := make([]float64, len(r.Records))
+	for i, rec := range r.Records {
+		out[i] = f(rec)
+	}
+	return out
+}
+
+// CostSeries returns the per-slot total cost.
+func (r *Result) CostSeries() []float64 {
+	return r.Series(func(rec SlotRecord) float64 { return rec.TotalUSD })
+}
+
+// DeficitSeries returns the per-slot carbon deficit.
+func (r *Result) DeficitSeries() []float64 {
+	return r.Series(func(rec SlotRecord) float64 { return rec.DeficitKWh })
+}
+
+// GridSeries returns the per-slot grid energy draw.
+func (r *Result) GridSeries() []float64 {
+	return r.Series(func(rec SlotRecord) float64 { return rec.GridKWh })
+}

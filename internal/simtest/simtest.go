@@ -1,0 +1,173 @@
+// Package simtest builds small, fast, fully calibrated scenarios shared by
+// the test suites of the sim, core, baseline and experiments packages. The
+// scenarios follow the paper's §5.1 calibration pipeline at reduced scale:
+// run the carbon-unaware algorithm once to measure reference consumption,
+// scale on-site renewables to a fraction of it, and size the carbon budget
+// as a fraction of the unaware grid usage.
+package simtest
+
+import (
+	"fmt"
+
+	"repro/internal/dcmodel"
+	"repro/internal/p3"
+	"repro/internal/price"
+	"repro/internal/renewable"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Options tunes the generated scenario.
+type Options struct {
+	Slots      int     // horizon (default 14 days)
+	N          int     // fleet size (default 2000)
+	PeakRPS    float64 // peak arrival rate (default 50% of fleet capacity)
+	Beta       float64 // delay weight (default 0.01)
+	BudgetFrac float64 // budget as a fraction of unaware usage (default 0.92)
+	OnsiteFrac float64 // on-site renewables as a fraction of consumption (default 0.20)
+	Seed       uint64
+	MSR        bool // use the MSR-like trace instead of FIU-like
+
+	// CappingMode switches to the paper's §2.2 energy-capping variant:
+	// off-site renewables are removed from the model and the whole budget
+	// becomes the REC parameter Z, interpreted as a hard long-term cap on
+	// grid-electricity usage ("all the analysis still applies by removing
+	// the off-site renewable energy ... and taking the REC parameter Z as
+	// the desired total energy cap").
+	CappingMode bool
+}
+
+func (o *Options) defaults() {
+	if o.Slots == 0 {
+		o.Slots = 14 * 24
+	}
+	if o.N == 0 {
+		o.N = 2000
+	}
+	if o.Beta == 0 {
+		o.Beta = 0.01
+	}
+	if o.BudgetFrac == 0 {
+		o.BudgetFrac = 0.92
+	}
+	if o.OnsiteFrac == 0 {
+		o.OnsiteFrac = 0.20
+	}
+	if o.Seed == 0 {
+		o.Seed = 12345
+	}
+}
+
+// Build constructs a calibrated scenario. It runs the carbon-unaware
+// reference internally (with zero renewables) to size the on-site supply
+// and the carbon budget, exactly like the paper's setup, and returns the
+// scenario together with the unaware reference grid usage in kWh.
+func Build(o Options) (*sim.Scenario, float64, error) {
+	o.defaults()
+	server := dcmodel.Opteron()
+	var workload *trace.Trace
+	if o.MSR {
+		workload = trace.MSRYear(o.Seed, 0.4)
+	} else {
+		workload = trace.FIUYear(o.Seed)
+	}
+	peak := o.PeakRPS
+	if peak == 0 {
+		peak = 0.5 * float64(o.N) * server.MaxRate()
+	}
+	workload = workload.ScaledToPeak(peak)
+
+	sc := &sim.Scenario{
+		Server: server, N: o.N, Gamma: 0.95, PUE: 1, Beta: o.Beta,
+		Workload: workload,
+		Price:    price.CAISOYear(o.Seed + 1),
+		Slots:    o.Slots,
+	}
+	// Phase 1: unaware reference with no renewables.
+	sc.Portfolio = &renewable.Portfolio{
+		OnsiteKW:   trace.Constant("zero", 0, o.Slots),
+		OffsiteKWh: trace.Constant("zero", 0, o.Slots),
+		RECsKWh:    1, // placeholder, α·Z/J must be finite
+		Alpha:      1,
+	}
+	ref, err := Reference(sc)
+	if err != nil {
+		return nil, 0, fmt.Errorf("simtest: reference run: %w", err)
+	}
+	// Phase 2: scale on-site renewables to OnsiteFrac of the unaware
+	// consumption and re-run the unaware reference with them in place —
+	// the paper's budget is a fraction of the carbon-unaware algorithm's
+	// *electricity* (grid) usage in the actual environment.
+	p := renewable.NewPaperPortfolio(o.Seed+2, o.Slots, ref.ConsumptionKWh, o.OnsiteFrac, o.BudgetFrac, 0.40)
+	sc.Portfolio = p
+	refOnsite, err := Reference(sc)
+	if err != nil {
+		return nil, 0, fmt.Errorf("simtest: onsite reference run: %w", err)
+	}
+	ref.GridKWh = refOnsite.GridKWh
+	// Phase 3: size the budget — 40% off-site PPAs, 60% RECs (or, in
+	// capping mode, everything as the energy cap Z with no off-site
+	// generation at all).
+	if o.CappingMode {
+		p.OffsiteKWh = trace.Constant("none", 0, o.Slots)
+		p.RECsKWh = o.BudgetFrac * ref.GridKWh
+	} else {
+		renewable.ScaleToTotal(p.OffsiteKWh, o.Slots, 0.40*o.BudgetFrac*ref.GridKWh)
+		p.RECsKWh = 0.60 * o.BudgetFrac * ref.GridKWh
+	}
+	if err := sc.Validate(); err != nil {
+		return nil, 0, err
+	}
+	return sc, ref.GridKWh, nil
+}
+
+// ReferenceUsage is the unaware algorithm's measured usage.
+type ReferenceUsage struct {
+	ConsumptionKWh float64 // total facility energy
+	GridKWh        float64 // total grid draw [p − r]^+
+	AvgCostUSD     float64 // average hourly cost
+}
+
+// Reference runs the carbon-unaware algorithm on the scenario as-is and
+// reports its usage. It is defined here (not in baseline) to avoid an
+// import cycle in tests; it duplicates the unaware decision rule through
+// the public sim API.
+func Reference(sc *sim.Scenario) (ReferenceUsage, error) {
+	res, err := sim.Run(sc, &unawareLite{sc: sc})
+	if err != nil {
+		return ReferenceUsage{}, err
+	}
+	sum := sim.Summarize(sc, res)
+	return ReferenceUsage{
+		ConsumptionKWh: sum.TotalEnergyKWh,
+		GridKWh:        sum.TotalGridKWh,
+		AvgCostUSD:     sum.AvgHourlyCostUSD,
+	}, nil
+}
+
+// unawareLite is the instantaneous cost minimizer (identical decisions to
+// baseline.Unaware, reimplemented locally to keep simtest dependency-free
+// of the packages it serves).
+type unawareLite struct {
+	sc *sim.Scenario
+}
+
+func (u *unawareLite) Name() string { return "unaware-lite" }
+
+func (u *unawareLite) Decide(obs sim.Observation) (sim.Config, error) {
+	hp := &p3.HomogeneousProblem{
+		Type: u.sc.Server, N: u.sc.N,
+		Gamma: u.sc.Gamma, PUE: u.sc.PUE,
+		LambdaRPS: obs.LambdaRPS,
+		We:        obs.PriceUSDPerKWh,
+		Wd:        u.sc.Beta,
+		OnsiteKW:  obs.OnsiteKW,
+	}
+	sol, err := hp.Solve()
+	if err != nil {
+		return sim.Config{}, err
+	}
+	return sim.Config{Speed: sol.Speed, Active: sol.Active}, nil
+}
+
+func (u *unawareLite) Observe(sim.Feedback) {}
