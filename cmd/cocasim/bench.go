@@ -1,0 +1,107 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/baseline"
+	"repro/internal/experiments"
+	"repro/internal/sim"
+	"repro/internal/simtest"
+)
+
+// benchReport is the machine-readable output of -bench-json: per-slot engine
+// throughput plus the wall-time speedup of the parallel experiment harness.
+type benchReport struct {
+	Cores      int `json:"cores"` // runtime.NumCPU on the benchmark host
+	GOMAXPROCS int `json:"gomaxprocs"`
+	Engine     struct {
+		Policy    string  `json:"policy"`
+		Slots     int     `json:"slots"`
+		Runs      int     `json:"runs"`
+		NsPerSlot float64 `json:"ns_per_slot"`
+	} `json:"engine"`
+	Sweep struct {
+		Driver     string  `json:"driver"` // the experiment used as workload
+		Points     int     `json:"points"` // independent runs fanned out
+		SeqMs      float64 `json:"seq_ms"`
+		ParMs      float64 `json:"par_ms"`
+		ParWorkers int     `json:"par_workers"`
+		Speedup    float64 `json:"speedup"`
+	} `json:"sweep"`
+}
+
+// runBench measures the step-wise engine and the parallel sweep and writes
+// the report as JSON to path.
+func runBench(path string, workers int) error {
+	var rep benchReport
+	rep.Cores = runtime.NumCPU()
+	rep.GOMAXPROCS = runtime.GOMAXPROCS(0)
+	if workers <= 0 {
+		workers = rep.GOMAXPROCS
+	}
+
+	// Engine throughput: drive the full Observe→Decide→operate→Feedback
+	// loop through sim.Run on a calibrated scenario with the cheapest
+	// policy, so the measurement is dominated by the engine + Ledger path
+	// rather than solver work.
+	sc, _, err := simtest.Build(simtest.Options{Slots: 28 * 24, N: 2000})
+	if err != nil {
+		return err
+	}
+	const runs = 20
+	start := time.Now()
+	for i := 0; i < runs; i++ {
+		if _, err := sim.Run(sc, baseline.NewUnaware(sc)); err != nil {
+			return err
+		}
+	}
+	elapsed := time.Since(start)
+	rep.Engine.Policy = "unaware"
+	rep.Engine.Slots = sc.Slots
+	rep.Engine.Runs = runs
+	rep.Engine.NsPerSlot = float64(elapsed.Nanoseconds()) / float64(runs*sc.Slots)
+
+	// Sweep speedup: the Fig. 2 V-sweep fans its independent simulations
+	// over the worker pool; time it sequential vs parallel. Identical
+	// configs aside from Workers — the determinism tests guarantee the
+	// outputs are byte-identical, so only wall time differs.
+	benchCfg := func(w int) experiments.Config {
+		return experiments.Config{Slots: 60 * 24, N: 2000, Seed: 2012, Workers: w, Out: io.Discard}
+	}
+	seqStart := time.Now()
+	seqRes, err := experiments.Fig2(benchCfg(1))
+	if err != nil {
+		return err
+	}
+	seqMs := time.Since(seqStart)
+	parStart := time.Now()
+	if _, err := experiments.Fig2(benchCfg(workers)); err != nil {
+		return err
+	}
+	parMs := time.Since(parStart)
+	rep.Sweep.Driver = "fig2"
+	rep.Sweep.Points = len(seqRes.Sweep) + 1 // V grid + the unaware reference arm
+	rep.Sweep.SeqMs = float64(seqMs.Microseconds()) / 1e3
+	rep.Sweep.ParMs = float64(parMs.Microseconds()) / 1e3
+	rep.Sweep.ParWorkers = workers
+	if parMs > 0 {
+		rep.Sweep.Speedup = float64(seqMs) / float64(parMs)
+	}
+
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("bench: engine %.0f ns/slot; sweep %.0f ms seq / %.0f ms on %d workers (%.2fx, %d cores) -> %s\n",
+		rep.Engine.NsPerSlot, rep.Sweep.SeqMs, rep.Sweep.ParMs, workers, rep.Sweep.Speedup, rep.Cores, path)
+	return nil
+}

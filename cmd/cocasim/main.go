@@ -32,23 +32,34 @@ import (
 
 func main() {
 	var (
-		exp    = flag.String("exp", "all", "experiment: fig1|fig2|fig3|fig4|fig5|mix|capping|lookahead|reset|tariff|batch|predict|delay|geo|all")
-		slots  = flag.Int("slots", 0, "horizon in hours (default: 8760, one year)")
-		n      = flag.Int("n", 0, "fleet size (default: 216000, the paper's deployment)")
-		beta   = flag.Float64("beta", 0, "delay weight β (default: 0.02)")
-		budget = flag.Float64("budget", 0, "carbon budget as fraction of unaware usage (default: 0.92)")
-		seed   = flag.Uint64("seed", 0, "master seed (default: 2012)")
-		csvDir = flag.String("csvdir", "", "write figure data as CSV files into this directory (fig2/fig3 series)")
+		exp     = flag.String("exp", "all", "experiment: fig1|fig2|fig3|fig4|fig5|mix|capping|lookahead|reset|tariff|batch|predict|delay|geo|all")
+		slots   = flag.Int("slots", 0, "horizon in hours (default: 8760, one year)")
+		n       = flag.Int("n", 0, "fleet size (default: 216000, the paper's deployment)")
+		beta    = flag.Float64("beta", 0, "delay weight β (default: 0.02)")
+		budget  = flag.Float64("budget", 0, "carbon budget as fraction of unaware usage (default: 0.92)")
+		seed    = flag.Uint64("seed", 0, "master seed (default: 2012)")
+		csvDir  = flag.String("csvdir", "", "write figure data as CSV files into this directory (fig2/fig3 series)")
+		workers = flag.Int("workers", 0, "worker pool for independent runs (0: all cores, 1: sequential; results are identical either way)")
+		bench   = flag.String("bench-json", "", "run the engine/sweep benchmark and write the JSON report to this path, then exit")
 	)
 	flag.Parse()
 
+	if *bench != "" {
+		if err := runBench(*bench, *workers); err != nil {
+			fmt.Fprintf(os.Stderr, "bench failed: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
 	cfg := experiments.Config{
-		Slots:  *slots,
-		N:      *n,
-		Beta:   *beta,
-		Budget: *budget,
-		Seed:   *seed,
-		Out:    os.Stdout,
+		Slots:   *slots,
+		N:       *n,
+		Beta:    *beta,
+		Budget:  *budget,
+		Seed:    *seed,
+		Workers: *workers,
+		Out:     os.Stdout,
 	}
 
 	runners := map[string]func() error{

@@ -35,7 +35,13 @@ type (
 	Solution = dcmodel.Solution
 	// CostParams prices a configuration (w(t), r(t), β).
 	CostParams = dcmodel.CostParams
-	// CostBreakdown decomposes a slot's cost.
+	// Ledger is the shared slot-cost kernel: every execution path (the sim
+	// engine, the controller, the multi-site federation, the baseline
+	// planners) charges slots through it.
+	Ledger = dcmodel.Ledger
+	// SlotCharge is a Ledger's fully priced slot outcome.
+	SlotCharge = dcmodel.SlotCharge
+	// CostBreakdown decomposes a slot's cost (same type as SlotCharge).
 	CostBreakdown = dcmodel.CostBreakdown
 	// Tariff generalizes the electricity cost to convex nonlinear pricing
 	// (§2.1 extension).
@@ -162,6 +168,14 @@ type (
 	Scenario = sim.Scenario
 	// Policy is a per-slot decision maker driven by the engine.
 	Policy = sim.Policy
+	// Engine is the resumable step-wise slot executor behind Run: it
+	// exposes Step/Done/Result plus per-slot observer callbacks.
+	Engine = sim.Engine
+	// Observer is a per-slot instrumentation hook receiving each operated
+	// slot's record.
+	Observer = sim.Observer
+	// SlotRecord is one operated slot's full accounting.
+	SlotRecord = sim.SlotRecord
 	// RunResult is a completed simulation.
 	RunResult = sim.Result
 	// Summary aggregates a run against the carbon budget.
@@ -172,6 +186,17 @@ type (
 
 // Run drives a policy over a scenario.
 func Run(sc *Scenario, p Policy) (*RunResult, error) { return sim.Run(sc, p) }
+
+// RunObserved is Run with per-slot instrumentation hooks.
+func RunObserved(sc *Scenario, p Policy, observers ...Observer) (*RunResult, error) {
+	return sim.RunObserved(sc, p, observers...)
+}
+
+// NewEngine prepares a resumable step-wise run of a policy over a
+// scenario; step it with Engine.Step until Engine.Done.
+func NewEngine(sc *Scenario, p Policy, observers ...Observer) (*Engine, error) {
+	return sim.NewEngine(sc, p, observers...)
+}
 
 // Summarize aggregates a run.
 func Summarize(sc *Scenario, res *RunResult) Summary { return sim.Summarize(sc, res) }

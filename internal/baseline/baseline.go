@@ -28,6 +28,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/dcmodel"
 	"repro/internal/numopt"
 	"repro/internal/p3"
 	"repro/internal/sim"
@@ -60,6 +61,19 @@ func (s solver) solve(obs sim.Observation, eta float64) (p3.HomogeneousSolution,
 		}
 	}
 	return hp.Solve()
+}
+
+// ledger builds the slot-cost kernel for the observed slot, including the
+// scenario's tariff and slot duration, so the planners price candidate
+// configurations with exactly the accounting the simulator charges.
+func (s solver) ledger(obs sim.Observation) dcmodel.Ledger {
+	return dcmodel.Ledger{
+		PriceUSDPerKWh: obs.PriceUSDPerKWh,
+		OnsiteKW:       obs.OnsiteKW,
+		Beta:           s.sc.Beta,
+		SlotHours:      s.sc.SlotHours,
+		Tariff:         s.sc.Tariff,
+	}
 }
 
 // trueObs builds the non-overestimated observation for slot t (oracles see
@@ -103,11 +117,7 @@ func (u *Unaware) Decide(obs sim.Observation) (sim.Config, error) {
 	if err != nil {
 		return sim.Config{}, err
 	}
-	grid := sol.GridKWh
-	if u.s.sc.Tariff != nil {
-		grid = u.s.sc.Tariff.Cost(grid)
-	}
-	cost := obs.PriceUSDPerKWh*grid + u.s.sc.Beta*sol.DelayCost
+	cost := u.s.ledger(obs).Charge(sol.PowerKW, sol.DelayCost, 0).TotalUSD
 	if cost < u.MinSlotCost {
 		u.MinSlotCost = cost
 	}
@@ -342,7 +352,7 @@ func NewLookahead(sc *sim.Scenario, T int) (*Lookahead, error) {
 			if err != nil {
 				return nil, err
 			}
-			cost += obs.PriceUSDPerKWh*sol.GridKWh + l.s.sc.Beta*sol.DelayCost
+			cost += l.s.ledger(obs).Charge(sol.PowerKW, sol.DelayCost, 0).TotalUSD
 		}
 		l.optima[f] = cost / float64(T)
 	}

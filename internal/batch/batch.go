@@ -168,11 +168,14 @@ func (s *Scheduler) Slot() int { return s.slot }
 
 // SpareServerHours derives the per-slot spare capacity left behind by an
 // interactive policy's run: for each slot, the γ-capped headroom of the
-// powered-on servers, converted to full-speed server-hours. This is the
-// capacity batch jobs can use without powering on anything new.
+// powered-on servers, converted to full-speed server-hours over the slot's
+// duration (the scenario's SlotHours via the shared Ledger, default 1
+// hour). This is the capacity batch jobs can use without powering on
+// anything new.
 func SpareServerHours(sc *sim.Scenario, res *sim.Result) []float64 {
 	out := make([]float64, len(res.Records))
 	maxRate := sc.Server.MaxRate()
+	hours := dcmodel.Ledger{SlotHours: sc.SlotHours}.Hours()
 	for i, rec := range res.Records {
 		if rec.Active == 0 || rec.Speed == 0 {
 			continue
@@ -180,7 +183,7 @@ func SpareServerHours(sc *sim.Scenario, res *sim.Result) []float64 {
 		capRPS := sc.Gamma * sc.Server.Rate(rec.Speed) * float64(rec.Active)
 		spareRPS := capRPS - rec.LambdaRPS
 		if spareRPS > 0 {
-			out[i] = spareRPS / maxRate
+			out[i] = spareRPS / maxRate * hours
 		}
 	}
 	return out

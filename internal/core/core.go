@@ -234,6 +234,8 @@ func (c *Controller) Step(env SlotEnv) (SlotOutcome, error) {
 	if err != nil {
 		return SlotOutcome{}, fmt.Errorf("core: slot %d: %w", c.slot, err)
 	}
+	// Cluster.Cost charges through the shared dcmodel.Ledger kernel, so
+	// the controller's accounting matches internal/sim exactly.
 	cost := c.Cluster.Cost(dcmodel.CostParams{
 		PriceUSDPerKWh: env.PriceUSDPerKWh,
 		OnsiteKW:       env.OnsiteKW,

@@ -1,0 +1,146 @@
+package dcmodel
+
+import (
+	"fmt"
+	"math"
+)
+
+// Ledger is the single slot-cost kernel shared by every execution path in
+// the repository. The simulation engine (internal/sim), the group-level
+// Controller (internal/core), the multi-site federation (internal/geo) and
+// the baseline planners (internal/baseline) all charge slots through a
+// Ledger, so the paper's accounting — facility power p, grid draw
+// y = [p − r]^+ (Eq. 10), tariff-priced electricity (Eq. 3 and the §2.1
+// nonlinear extension), the priced M/G/1/PS delay (Eqs. 4–5), switching
+// cost (Fig. 5d), the §3.1 per-slot caps and the per-slot carbon deficit
+// y − α·f − z (Eq. 17) — is written exactly once.
+//
+// A Ledger is a value: build one per slot from that slot's environment and
+// discard it. The zero value prices nothing but is still well formed
+// (1-hour slots, linear tariff, no caps).
+type Ledger struct {
+	PriceUSDPerKWh float64 // w(t): electricity price this slot
+	OnsiteKW       float64 // r(t): on-site renewable power this slot
+	Beta           float64 // β: dollars per unit of delay cost (Eq. 5)
+
+	// SlotHours is the slot duration in hours; 0 means 1 (the paper's
+	// hourly slots). It is the single place the kW→kWh conversion of the
+	// discrete-time model lives: grid energy and facility energy scale
+	// with it, while delay cost (already a per-slot aggregate) and
+	// switching energy (per toggle, not per hour) do not.
+	SlotHours float64
+
+	// Tariff optionally replaces the linear electricity cost with a convex
+	// nonlinear one (§2.1): electricity = w(t)·Tariff.Cost(y). Nil means
+	// the paper's default linear tariff.
+	Tariff Tariff
+
+	// SwitchCostKWh is the energy-equivalent cost of toggling one server
+	// on or off, charged at the slot's electricity price (Fig. 5d).
+	SwitchCostKWh float64
+
+	// Alpha and RECPerSlotKWh parameterize the per-slot carbon deficit
+	// y − α·f − z of Eqs. (10)/(17).
+	Alpha         float64
+	RECPerSlotKWh float64
+
+	// MaxPowerKW and MaxDelayCost are the optional §3.1 per-slot
+	// constraints enforced by CheckCaps. Zero disables.
+	MaxPowerKW   float64
+	MaxDelayCost float64
+}
+
+// SlotCharge is the fully priced outcome of one slot: the decomposition of
+// Eqs. (3)–(5) plus the switching charge and the slot's energy totals.
+type SlotCharge struct {
+	PowerKW        float64 // p(λ, x): facility power
+	EnergyKWh      float64 // p · SlotHours: facility energy incl. on-site-covered power
+	GridKWh        float64 // y = [p − r]^+ · SlotHours (Eq. 10)
+	ElectricityUSD float64 // e = w · tariff(y) (Eq. 3)
+	DelayCost      float64 // d (Eq. 4), dimensionless
+	DelayUSD       float64 // β · d
+	SwitchUSD      float64 // w · SwitchCostKWh · |Δ active|
+	TotalUSD       float64 // e + β·d + switching (Eq. 5 plus extensions)
+}
+
+// CostBreakdown is the historical name of the slot-cost decomposition; it
+// is the same type as SlotCharge.
+type CostBreakdown = SlotCharge
+
+// Hours returns the slot duration, defaulting to the paper's 1-hour slots.
+func (l Ledger) Hours() float64 {
+	if l.SlotHours <= 0 {
+		return 1
+	}
+	return l.SlotHours
+}
+
+// EnergyKWh converts facility power over the slot into energy.
+func (l Ledger) EnergyKWh(powerKW float64) float64 {
+	return powerKW * l.Hours()
+}
+
+// GridKWh returns the slot's grid draw y = [p − r]^+ · SlotHours.
+func (l Ledger) GridKWh(powerKW float64) float64 {
+	return math.Max(0, powerKW-l.OnsiteKW) * l.Hours()
+}
+
+// ElectricityUSD prices grid energy through the tariff: w·Tariff.Cost(y),
+// or the paper's linear w·y when no tariff is set.
+func (l Ledger) ElectricityUSD(gridKWh float64) float64 {
+	if l.Tariff != nil {
+		return l.PriceUSDPerKWh * l.Tariff.Cost(gridKWh)
+	}
+	return l.PriceUSDPerKWh * gridKWh
+}
+
+// DelayUSD prices delay cost: β·d (Eq. 5).
+func (l Ledger) DelayUSD(delayCost float64) float64 {
+	return l.Beta * delayCost
+}
+
+// SwitchUSD charges the Fig. 5(d) toggling cost for a change of
+// activeDelta servers at this slot's electricity price.
+func (l Ledger) SwitchUSD(activeDelta int) float64 {
+	return l.PriceUSDPerKWh * l.SwitchCostKWh * math.Abs(float64(activeDelta))
+}
+
+// Deficit returns the slot's carbon-budget overrun y − α·f − z (can be
+// negative); its running sum is the paper's carbon deficit, and its
+// positive part drives the Eq. (17) queue update.
+func (l Ledger) Deficit(gridKWh, offsiteKWh float64) float64 {
+	return gridKWh - l.Alpha*offsiteKWh - l.RECPerSlotKWh
+}
+
+// CheckCaps validates the §3.1 per-slot constraints against an operated
+// configuration's facility power and delay cost.
+func (l Ledger) CheckCaps(powerKW, delayCost float64) error {
+	if l.MaxPowerKW > 0 && powerKW > l.MaxPowerKW*(1+1e-9) {
+		return fmt.Errorf("dcmodel: power %v kW exceeds the peak-power cap %v", powerKW, l.MaxPowerKW)
+	}
+	if l.MaxDelayCost > 0 && delayCost > l.MaxDelayCost*(1+1e-9) {
+		return fmt.Errorf("dcmodel: delay cost %v exceeds the cap %v", delayCost, l.MaxDelayCost)
+	}
+	return nil
+}
+
+// Charge prices one operated slot: facility power and delay cost from the
+// configuration, plus a change of activeDelta active servers against the
+// previous slot. It performs no feasibility checks — callers gate with
+// CheckCaps (and their own load checks) first.
+func (l Ledger) Charge(powerKW, delayCost float64, activeDelta int) SlotCharge {
+	grid := l.GridKWh(powerKW)
+	elec := l.ElectricityUSD(grid)
+	delay := l.DelayUSD(delayCost)
+	sw := l.SwitchUSD(activeDelta)
+	return SlotCharge{
+		PowerKW:        powerKW,
+		EnergyKWh:      l.EnergyKWh(powerKW),
+		GridKWh:        grid,
+		ElectricityUSD: elec,
+		DelayCost:      delayCost,
+		DelayUSD:       delay,
+		SwitchUSD:      sw,
+		TotalUSD:       elec + delay + sw,
+	}
+}

@@ -1,0 +1,124 @@
+package dcmodel
+
+import (
+	"math"
+	"testing"
+)
+
+func TestLedgerHoursDefault(t *testing.T) {
+	var l Ledger
+	if l.Hours() != 1 {
+		t.Fatalf("zero-value slot duration = %v, want 1", l.Hours())
+	}
+	l.SlotHours = 0.25
+	if l.Hours() != 0.25 {
+		t.Fatalf("Hours() = %v, want 0.25", l.Hours())
+	}
+}
+
+func TestLedgerGridDraw(t *testing.T) {
+	l := Ledger{OnsiteKW: 30}
+	if got := l.GridKWh(100); got != 70 {
+		t.Errorf("grid = %v, want 70", got)
+	}
+	// On-site surplus is truncated, never credited (the [·]^+ of Eq. 10).
+	if got := l.GridKWh(10); got != 0 {
+		t.Errorf("grid with surplus = %v, want 0", got)
+	}
+	// Sub-hourly slots scale the energy.
+	l.SlotHours = 0.5
+	if got := l.GridKWh(100); got != 35 {
+		t.Errorf("half-hour grid = %v, want 35", got)
+	}
+}
+
+func TestLedgerChargeDecomposition(t *testing.T) {
+	l := Ledger{
+		PriceUSDPerKWh: 0.08,
+		OnsiteKW:       20,
+		Beta:           0.01,
+		SwitchCostKWh:  0.231,
+	}
+	ch := l.Charge(120, 50, -3)
+	wantGrid := 100.0
+	if ch.GridKWh != wantGrid {
+		t.Errorf("grid = %v, want %v", ch.GridKWh, wantGrid)
+	}
+	if ch.EnergyKWh != 120 {
+		t.Errorf("energy = %v, want 120", ch.EnergyKWh)
+	}
+	if want := 0.08 * wantGrid; ch.ElectricityUSD != want {
+		t.Errorf("electricity = %v, want %v", ch.ElectricityUSD, want)
+	}
+	if want := 0.01 * 50.0; ch.DelayUSD != want {
+		t.Errorf("delay = %v, want %v", ch.DelayUSD, want)
+	}
+	if want := 0.08 * 0.231 * 3; math.Abs(ch.SwitchUSD-want) > 1e-15 {
+		t.Errorf("switch = %v, want %v", ch.SwitchUSD, want)
+	}
+	if want := ch.ElectricityUSD + ch.DelayUSD + ch.SwitchUSD; ch.TotalUSD != want {
+		t.Errorf("total = %v, want %v", ch.TotalUSD, want)
+	}
+}
+
+func TestLedgerTariffPricing(t *testing.T) {
+	tt, err := NewTieredTariff([]Tier{
+		{UpToKWh: 50, Mult: 1},
+		{UpToKWh: math.Inf(1), Mult: 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := Ledger{PriceUSDPerKWh: 0.1, Tariff: tt}
+	// 80 kWh: 50 at 1x + 30 at 3x = 140 effective kWh.
+	if want := 0.1 * 140; math.Abs(l.ElectricityUSD(80)-want) > 1e-12 {
+		t.Errorf("tiered electricity = %v, want %v", l.ElectricityUSD(80), want)
+	}
+	l.Tariff = nil
+	if want := 0.1 * 80; l.ElectricityUSD(80) != want {
+		t.Errorf("linear electricity = %v, want %v", l.ElectricityUSD(80), want)
+	}
+}
+
+func TestLedgerDeficit(t *testing.T) {
+	l := Ledger{Alpha: 0.8, RECPerSlotKWh: 5}
+	if got, want := l.Deficit(100, 50), 100-0.8*50-5.0; got != want {
+		t.Errorf("deficit = %v, want %v", got, want)
+	}
+	// Underspend goes negative — the running average can bank credit.
+	if got := l.Deficit(0, 50); got >= 0 {
+		t.Errorf("deficit with no draw = %v, want negative", got)
+	}
+}
+
+func TestLedgerCheckCaps(t *testing.T) {
+	l := Ledger{MaxPowerKW: 100, MaxDelayCost: 10}
+	if err := l.CheckCaps(99, 9); err != nil {
+		t.Errorf("within caps rejected: %v", err)
+	}
+	if err := l.CheckCaps(101, 1); err == nil {
+		t.Error("peak-power violation accepted")
+	}
+	if err := l.CheckCaps(1, 11); err == nil {
+		t.Error("max-delay violation accepted")
+	}
+	// Zero disables.
+	var open Ledger
+	if err := open.CheckCaps(1e12, 1e12); err != nil {
+		t.Errorf("uncapped ledger rejected: %v", err)
+	}
+}
+
+// TestClusterCostMatchesLedger pins the Cluster.Cost path to the shared
+// kernel: the two must agree exactly.
+func TestClusterCostMatchesLedger(t *testing.T) {
+	c := &Cluster{Groups: []Group{{Type: Opteron(), N: 10}}, Gamma: 0.95, PUE: 1.2}
+	speeds := []int{2}
+	load := []float64{500}
+	p := CostParams{PriceUSDPerKWh: 0.07, OnsiteKW: 2, Beta: 0.02}
+	got := c.Cost(p, speeds, load)
+	want := p.Ledger().Charge(c.FacilityPowerKW(speeds, load), c.DelayCost(speeds, load), 0)
+	if got != want {
+		t.Errorf("Cluster.Cost = %+v, ledger charge = %+v", got, want)
+	}
+}

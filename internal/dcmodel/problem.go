@@ -14,34 +14,21 @@ type CostParams struct {
 	Beta           float64 // β: dollars per unit of delay cost
 }
 
-// CostBreakdown decomposes the cost of one slot's configuration.
-type CostBreakdown struct {
-	PowerKW        float64 // p(λ, x): facility power
-	GridKWh        float64 // y = [p − r]^+ (slot = 1 h, so kW ≡ kWh)
-	ElectricityUSD float64 // e = w · y (Eq. 3)
-	DelayCost      float64 // d (Eq. 4), dimensionless
-	DelayUSD       float64 // β · d
-	TotalUSD       float64 // g = e + β·d (Eq. 5)
+// Ledger builds the slot-cost kernel for this environment; see Ledger for
+// the full set of knobs (tariffs, slot duration, caps, deficit terms).
+func (p CostParams) Ledger() Ledger {
+	return Ledger{
+		PriceUSDPerKWh: p.PriceUSDPerKWh,
+		OnsiteKW:       p.OnsiteKW,
+		Beta:           p.Beta,
+	}
 }
 
-// Cost evaluates Eqs. (3)–(5) for a configuration. Infeasible loads (at or
-// beyond a group's aggregate rate) yield +Inf delay and total.
+// Cost evaluates Eqs. (3)–(5) for a configuration through the shared
+// Ledger kernel. Infeasible loads (at or beyond a group's aggregate rate)
+// yield +Inf delay and total.
 func (c *Cluster) Cost(p CostParams, speeds []int, load []float64) CostBreakdown {
-	pw := c.FacilityPowerKW(speeds, load)
-	grid := pw - p.OnsiteKW
-	if grid < 0 {
-		grid = 0
-	}
-	d := c.DelayCost(speeds, load)
-	e := p.PriceUSDPerKWh * grid
-	return CostBreakdown{
-		PowerKW:        pw,
-		GridKWh:        grid,
-		ElectricityUSD: e,
-		DelayCost:      d,
-		DelayUSD:       p.Beta * d,
-		TotalUSD:       e + p.Beta*d,
-	}
+	return p.Ledger().Charge(c.FacilityPowerKW(speeds, load), c.DelayCost(speeds, load), 0)
 }
 
 // SlotProblem is the per-slot optimization every algorithm in this

@@ -49,7 +49,7 @@ func Capping(cfg Config) (CappingResult, error) {
 	var res CappingResult
 	res.CapKWh = sc.Portfolio.BudgetKWh(sc.Slots)
 
-	_, cocaSum, err := TuneV(sc, cfg.VGrid)
+	_, cocaSum, err := tuneV(sc, cfg.VGrid, cfg.workers())
 	if err != nil {
 		return res, err
 	}
@@ -107,22 +107,29 @@ func LookaheadSweep(cfg Config, windows []int) ([]LookaheadPoint, float64, error
 		ZMax: sc.Portfolio.Alpha*stats.MaxOf(sc.Portfolio.OffsiteKWh.Values[:sc.Slots]) + sc.Portfolio.RECPerSlotKWh(sc.Slots),
 		RMax: stats.MaxOf(sc.Portfolio.OnsiteKW.Values[:sc.Slots]),
 	}
-	var out []LookaheadPoint
+	valid := windows[:0:0]
 	for _, T := range windows {
-		if sc.Slots%T != 0 {
-			continue
+		if sc.Slots%T == 0 {
+			valid = append(valid, T)
 		}
+	}
+	// The window sizes are independent dual-bisection plans: fan out.
+	out, err := mapIndexed(cfg.workers(), len(valid), func(i int) (LookaheadPoint, error) {
+		T := valid[i]
 		la, err := baseline.NewLookahead(sc, T)
 		if err != nil {
-			return nil, 0, err
+			return LookaheadPoint{}, err
 		}
 		optima := la.FrameOptima()
 		sched := lyapunov.ConstantV(v, sc.Slots/T, T)
-		out = append(out, LookaheadPoint{
+		return LookaheadPoint{
 			T:          T,
 			MeanFrameG: stats.Mean(optima),
 			CostBound:  lyapunov.CostBound(bounds, sched, optima),
-		})
+		}, nil
+	})
+	if err != nil {
+		return nil, 0, err
 	}
 	// COCA's measured cost at the same V for reference.
 	cocaSum, _, err := runCOCA(sc, v)
@@ -166,29 +173,37 @@ func FrameResetAblation(cfg Config) (FrameResetResult, error) {
 	vs := []float64{mid / 100, mid, mid * 10, mid}
 
 	var res FrameResetResult
-	// Standard COCA: four frames, queue reset at each boundary.
-	p1, err := core.New(core.FromScenario(sc, lyapunov.VSchedule{T: cfg.Slots / 4, Vs: vs}))
+	// The two arms are independent year-long runs: fan out.
+	sums, err := mapIndexed(cfg.workers(), 2, func(i int) (sim.Summary, error) {
+		if i == 0 {
+			// Standard COCA: four frames, queue reset at each boundary.
+			p1, err := core.New(core.FromScenario(sc, lyapunov.VSchedule{T: cfg.Slots / 4, Vs: vs}))
+			if err != nil {
+				return sim.Summary{}, err
+			}
+			r1, err := sim.Run(sc, p1)
+			if err != nil {
+				return sim.Summary{}, err
+			}
+			return sim.Summarize(sc, r1), nil
+		}
+		// Ablated: the same V trajectory applied per slot, but a single
+		// frame — the queue never resets.
+		p2, err := core.New(core.FromScenario(sc, lyapunov.VSchedule{T: cfg.Slots, Vs: []float64{1}}))
+		if err != nil {
+			return sim.Summary{}, err
+		}
+		ab := &vOverridePolicy{Policy: p2, vs: vs, frame: cfg.Slots / 4}
+		r2, err := sim.Run(sc, ab)
+		if err != nil {
+			return sim.Summary{}, err
+		}
+		return sim.Summarize(sc, r2), nil
+	})
 	if err != nil {
 		return res, err
 	}
-	r1, err := sim.Run(sc, p1)
-	if err != nil {
-		return res, err
-	}
-	res.WithResets = sim.Summarize(sc, r1)
-
-	// Ablated: the same V trajectory applied per slot, but a single frame —
-	// the queue never resets.
-	p2, err := core.New(core.FromScenario(sc, lyapunov.VSchedule{T: cfg.Slots, Vs: []float64{1}}))
-	if err != nil {
-		return res, err
-	}
-	ab := &vOverridePolicy{Policy: p2, vs: vs, frame: cfg.Slots / 4}
-	r2, err := sim.Run(sc, ab)
-	if err != nil {
-		return res, err
-	}
-	res.WithoutResets = sim.Summarize(sc, r2)
+	res.WithResets, res.WithoutResets = sums[0], sums[1]
 
 	if cfg.Out != nil {
 		t := report.NewTable("Frame-reset ablation (Algorithm 1 lines 2–4), quarterly V",
@@ -236,7 +251,7 @@ func TariffStudy(cfg Config) (TariffResult, error) {
 	if err != nil {
 		return TariffResult{}, err
 	}
-	v, _, err := TuneV(sc, cfg.VGrid)
+	v, _, err := tuneV(sc, cfg.VGrid, cfg.workers())
 	if err != nil {
 		return TariffResult{}, err
 	}
@@ -256,14 +271,14 @@ func TariffStudy(cfg Config) (TariffResult, error) {
 	if err != nil {
 		return res, err
 	}
-	sc.Tariff = tariff
-	_, tieredRun, err := runCOCA(sc, v)
+	tsc := sc.Clone()
+	tsc.Tariff = tariff
+	_, tieredRun, err := runCOCA(tsc, v)
 	if err != nil {
 		return res, err
 	}
-	res.Tiered = sim.Summarize(sc, tieredRun)
+	res.Tiered = sim.Summarize(tsc, tieredRun)
 	res.PeakGridTiered = stats.MaxOf(tieredRun.GridSeries())
-	sc.Tariff = nil
 
 	if cfg.Out != nil {
 		t := report.NewTable("Nonlinear tariff study (§2.1 extension): inclining-block pricing",
@@ -296,7 +311,7 @@ func GreenBatch(cfg Config) (GreenBatchResult, error) {
 	if err != nil {
 		return GreenBatchResult{}, err
 	}
-	v, _, err := TuneV(sc, cfg.VGrid)
+	v, _, err := tuneV(sc, cfg.VGrid, cfg.workers())
 	if err != nil {
 		return GreenBatchResult{}, err
 	}

@@ -32,6 +32,12 @@ type Config struct {
 	Seed    uint64  // master seed (default: 2012, the trace year)
 	Out     io.Writer
 
+	// Workers bounds the experiment fan-out: independent runs (V sweeps,
+	// budget fractions, ablation arms) are mapped onto this many workers.
+	// 0 uses all cores; 1 forces strictly sequential execution. Results
+	// are deterministic and byte-identical at any worker count.
+	Workers int
+
 	// VGrid is the sweep for Fig. 2 and the tuning grid for the neutral
 	// operating point; nil selects a default logarithmic grid.
 	VGrid []float64
@@ -120,28 +126,34 @@ func runCOCA(sc *sim.Scenario, v float64) (sim.Summary, *sim.Result, error) {
 // TuneV finds, over the grid, the V whose yearly usage comes closest to the
 // budget without exceeding it — the paper's neutral operating point ("COCA
 // achieves a close-to-minimum cost with V ≈ 240 while satisfying carbon
-// neutrality"). It returns the chosen V and its summary.
+// neutrality"). It returns the chosen V and its summary. The grid runs are
+// independent and fan out across all cores.
 func TuneV(sc *sim.Scenario, grid []float64) (float64, sim.Summary, error) {
+	return tuneV(sc, grid, Config{}.workers())
+}
+
+// tuneV is TuneV with an explicit worker count: the grid fans out on the
+// pool, then the winner is picked sequentially so tie-breaking (first V to
+// attain the best fraction) is identical at any worker count.
+func tuneV(sc *sim.Scenario, grid []float64, workers int) (float64, sim.Summary, error) {
+	sums, err := mapIndexed(workers, len(grid), func(i int) (sim.Summary, error) {
+		s, _, err := runCOCA(sc, grid[i])
+		return s, err
+	})
+	if err != nil {
+		return 0, sim.Summary{}, err
+	}
 	bestV := 0.0
 	var best sim.Summary
 	found := false
-	for _, v := range grid {
-		s, _, err := runCOCA(sc, v)
-		if err != nil {
-			return 0, sim.Summary{}, err
-		}
+	for i, s := range sums {
 		if s.BudgetUsedFraction <= 1.0 && (!found || s.BudgetUsedFraction > best.BudgetUsedFraction) {
-			bestV, best, found = v, s, true
+			bestV, best, found = grid[i], s, true
 		}
 	}
 	if !found {
 		// Even the smallest V overshoots; take the smallest.
-		v := grid[0]
-		s, _, err := runCOCA(sc, v)
-		if err != nil {
-			return 0, sim.Summary{}, err
-		}
-		return v, s, nil
+		return grid[0], sums[0], nil
 	}
 	return bestV, best, nil
 }

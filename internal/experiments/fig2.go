@@ -36,24 +36,24 @@ func Fig2(cfg Config) (Fig2Result, error) {
 		return Fig2Result{}, err
 	}
 	var res Fig2Result
-	for _, v := range cfg.VGrid {
-		s, _, err := runCOCA(sc, v)
-		if err != nil {
-			return res, err
-		}
-		res.Sweep = append(res.Sweep, Fig2Point{
-			V:             v,
-			AvgCostUSD:    s.AvgHourlyCostUSD,
-			AvgDeficitKWh: s.AvgDeficitKWh,
-			BudgetUsed:    s.BudgetUsedFraction,
-		})
-	}
-	// The carbon-unaware limit for reference.
-	sInf, _, err := runCOCA(sc, 1e15)
+	// One batch over the V grid plus the carbon-unaware V→∞ reference.
+	vs := append(append([]float64(nil), cfg.VGrid...), 1e15)
+	sums, err := mapIndexed(cfg.workers(), len(vs), func(i int) (sim.Summary, error) {
+		s, _, err := runCOCA(sc, vs[i])
+		return s, err
+	})
 	if err != nil {
 		return res, err
 	}
-	res.UnawareAvgCostUSD = sInf.AvgHourlyCostUSD
+	for i, v := range cfg.VGrid {
+		res.Sweep = append(res.Sweep, Fig2Point{
+			V:             v,
+			AvgCostUSD:    sums[i].AvgHourlyCostUSD,
+			AvgDeficitKWh: sums[i].AvgDeficitKWh,
+			BudgetUsed:    sums[i].BudgetUsedFraction,
+		})
+	}
+	res.UnawareAvgCostUSD = sums[len(vs)-1].AvgHourlyCostUSD
 
 	// Fig. 2(c,d): quarterly V — start small (cost high, deficit negative),
 	// then increase, demonstrating the tunable tradeoff.

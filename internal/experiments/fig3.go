@@ -32,24 +32,28 @@ func Fig3(cfg Config) (Fig3Result, error) {
 		return Fig3Result{}, err
 	}
 	var res Fig3Result
-	res.CocaV, res.Coca, err = TuneV(sc, cfg.VGrid)
+	res.CocaV, res.Coca, err = tuneV(sc, cfg.VGrid, cfg.workers())
 	if err != nil {
 		return res, err
 	}
 	res.CocaNeutral = res.Coca.BudgetUsedFraction <= 1.0
-	_, cocaRun, err := runCOCA(sc, res.CocaV)
+	// The head-to-head runs are independent: fan out COCA at the tuned V
+	// and PerfectHP together.
+	runs, err := mapIndexed(cfg.workers(), 2, func(i int) (*sim.Result, error) {
+		if i == 0 {
+			_, r, err := runCOCA(sc, res.CocaV)
+			return r, err
+		}
+		php, err := baseline.NewPerfectHP(sc, 48)
+		if err != nil {
+			return nil, err
+		}
+		return sim.Run(sc, php)
+	})
 	if err != nil {
 		return res, err
 	}
-
-	php, err := baseline.NewPerfectHP(sc, 48)
-	if err != nil {
-		return res, err
-	}
-	phpRun, err := sim.Run(sc, php)
-	if err != nil {
-		return res, err
-	}
+	cocaRun, phpRun := runs[0], runs[1]
 	res.PerfectHP = sim.Summarize(sc, phpRun)
 	res.SavingFrac = (res.PerfectHP.AvgHourlyCostUSD - res.Coca.AvgHourlyCostUSD) /
 		res.PerfectHP.AvgHourlyCostUSD

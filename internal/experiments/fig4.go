@@ -73,17 +73,19 @@ func Fig4(cfg Config) (Fig4Result, error) {
 	gScale := probe.Solution.Value
 	deltas := []float64{0.1 * gScale * gScale, 10 * gScale * gScale, 1e4 * gScale * gScale}
 	labels := []string{"low δ", "medium δ", "high δ"}
-	for i, d := range deltas {
+	// Each temperature runs its own Gibbs chain under its own seed: fan out.
+	res.DeltaRuns, err = mapIndexed(cfg.workers(), len(deltas), func(i int) (Fig4Run, error) {
 		r, err := gsd.Solve(prob, gsd.Options{
-			Delta: d, MaxIters: iters, Seed: cfg.Seed + uint64(i),
+			Delta: deltas[i], MaxIters: iters, Seed: cfg.Seed + uint64(i),
 			RecordHistory: true,
 		})
 		if err != nil {
-			return res, err
+			return Fig4Run{}, err
 		}
-		res.DeltaRuns = append(res.DeltaRuns, Fig4Run{
-			Label: labels[i], History: r.History, Final: r.Solution.Value,
-		})
+		return Fig4Run{Label: labels[i], History: r.History, Final: r.Solution.Value}, nil
+	})
+	if err != nil {
+		return res, err
 	}
 
 	// Time exactly 500 iterations for the §5.2.3 claim ("500 iterations
@@ -106,20 +108,24 @@ func Fig4(cfg Config) (Fig4Result, error) {
 		{"alternating", alternatingSpeeds(cluster)},
 	}
 	fixed := deltas[2]
+	feasible := inits[:0:0]
 	for _, in := range inits {
-		if !prob.Feasible(in.init) {
-			continue
+		if prob.Feasible(in.init) {
+			feasible = append(feasible, in)
 		}
+	}
+	res.InitRuns, err = mapIndexed(cfg.workers(), len(feasible), func(i int) (Fig4Run, error) {
 		r, err := gsd.Solve(prob, gsd.Options{
 			Delta: fixed, MaxIters: 6 * iters, Seed: cfg.Seed + 77,
-			InitSpeeds: in.init, RecordHistory: true,
+			InitSpeeds: feasible[i].init, RecordHistory: true,
 		})
 		if err != nil {
-			return res, err
+			return Fig4Run{}, err
 		}
-		res.InitRuns = append(res.InitRuns, Fig4Run{
-			Label: in.label, History: r.History, Final: r.Solution.Value,
-		})
+		return Fig4Run{Label: feasible[i].label, History: r.History, Final: r.Solution.Value}, nil
+	})
+	if err != nil {
+		return res, err
 	}
 
 	if cfg.Out != nil {

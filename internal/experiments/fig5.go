@@ -86,46 +86,47 @@ func Fig5(cfg Config) (Fig5Result, error) {
 // budgetSweep reruns calibration at several budget fractions and compares
 // COCA, OPT and the carbon-unaware algorithm, normalizing by the unaware
 // cost (the paper normalizes usage by the unaware algorithm's 1.55e5 MWh).
+// The fractions are independent end-to-end (each builds its own scenario),
+// so they fan out on the worker pool; the per-fraction work stays
+// sequential to keep the pool bounded.
 func budgetSweep(cfg Config, msr bool) ([]Fig5BudgetPoint, error) {
 	fracs := []float64{0.85, 0.90, 0.92, 0.95, 1.00, 1.05}
-	out := make([]Fig5BudgetPoint, 0, len(fracs))
-	for _, frac := range fracs {
+	return mapIndexed(cfg.workers(), len(fracs), func(i int) (Fig5BudgetPoint, error) {
 		c := cfg
-		c.Budget = frac
+		c.Budget = fracs[i]
 		c.Out = nil
 		sc, _, err := c.Scenario(msr)
 		if err != nil {
-			return nil, err
+			return Fig5BudgetPoint{}, err
 		}
 		un := baseline.NewUnaware(sc)
 		unRes, err := sim.Run(sc, un)
 		if err != nil {
-			return nil, err
+			return Fig5BudgetPoint{}, err
 		}
 		unSum := sim.Summarize(sc, unRes)
 
-		_, cocaSum, err := TuneV(sc, c.VGrid)
+		_, cocaSum, err := tuneV(sc, c.VGrid, 1)
 		if err != nil {
-			return nil, err
+			return Fig5BudgetPoint{}, err
 		}
 		opt, err := baseline.NewOPT(sc)
 		if err != nil {
-			return nil, err
+			return Fig5BudgetPoint{}, err
 		}
 		optRes, err := sim.Run(sc, opt)
 		if err != nil {
-			return nil, err
+			return Fig5BudgetPoint{}, err
 		}
 		optSum := sim.Summarize(sc, optRes)
-		out = append(out, Fig5BudgetPoint{
-			BudgetFrac:  frac,
+		return Fig5BudgetPoint{
+			BudgetFrac:  fracs[i],
 			CocaCost:    cocaSum.AvgHourlyCostUSD / unSum.AvgHourlyCostUSD,
 			OptCost:     optSum.AvgHourlyCostUSD / unSum.AvgHourlyCostUSD,
 			UnawareCost: 1,
 			CocaNeutral: cocaSum.BudgetUsedFraction <= 1.0,
-		})
-	}
-	return out, nil
+		}, nil
+	})
 }
 
 // overestimateSweep measures the Fig. 5(c) robustness: COCA decides against
@@ -136,24 +137,26 @@ func overestimateSweep(cfg Config) ([]float64, []float64, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	v, _, err := TuneV(sc, cfg.VGrid)
+	v, _, err := tuneV(sc, cfg.VGrid, cfg.workers())
 	if err != nil {
 		return nil, nil, err
 	}
-	costs := make([]float64, 0, len(factors))
-	var base float64
-	for i, phi := range factors {
-		sc.Overestimate = phi
-		s, _, err := runCOCA(sc, v)
-		if err != nil {
-			return nil, nil, err
-		}
-		if i == 0 {
-			base = s.AvgHourlyCostUSD
-		}
-		costs = append(costs, s.AvgHourlyCostUSD/base)
+	// Each factor runs on its own scenario clone, so the parallel workers
+	// never share the mutated Overestimate knob.
+	sums, err := mapIndexed(cfg.workers(), len(factors), func(i int) (sim.Summary, error) {
+		run := sc.Clone()
+		run.Overestimate = factors[i]
+		s, _, err := runCOCA(run, v)
+		return s, err
+	})
+	if err != nil {
+		return nil, nil, err
 	}
-	sc.Overestimate = 0
+	costs := make([]float64, len(factors))
+	base := sums[0].AvgHourlyCostUSD
+	for i := range sums {
+		costs[i] = sums[i].AvgHourlyCostUSD / base
+	}
 	return factors, costs, nil
 }
 
@@ -167,24 +170,24 @@ func switchSweep(cfg Config) ([]float64, []float64, error) {
 		return nil, nil, err
 	}
 	maxEnergy := sc.Server.MaxBusyKW() // 0.231 kWh per hour at full speed
-	v, _, err := TuneV(sc, cfg.VGrid)
+	v, _, err := tuneV(sc, cfg.VGrid, cfg.workers())
 	if err != nil {
 		return nil, nil, err
 	}
-	costs := make([]float64, 0, len(fractions))
-	var base float64
-	for i, f := range fractions {
-		sc.SwitchCostKWh = f * maxEnergy
-		s, _, err := runCOCA(sc, v)
-		if err != nil {
-			return nil, nil, err
-		}
-		if i == 0 {
-			base = s.AvgHourlyCostUSD
-		}
-		costs = append(costs, s.AvgHourlyCostUSD/base)
+	sums, err := mapIndexed(cfg.workers(), len(fractions), func(i int) (sim.Summary, error) {
+		run := sc.Clone()
+		run.SwitchCostKWh = fractions[i] * maxEnergy
+		s, _, err := runCOCA(run, v)
+		return s, err
+	})
+	if err != nil {
+		return nil, nil, err
 	}
-	sc.SwitchCostKWh = 0
+	costs := make([]float64, len(fractions))
+	base := sums[0].AvgHourlyCostUSD
+	for i := range sums {
+		costs[i] = sums[i].AvgHourlyCostUSD / base
+	}
 	return fractions, costs, nil
 }
 
@@ -199,27 +202,31 @@ func PortfolioMixStudy(cfg Config) ([]float64, []float64, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	v, _, err := TuneV(sc, cfg.VGrid)
+	v, _, err := tuneV(sc, cfg.VGrid, cfg.workers())
 	if err != nil {
 		return nil, nil, err
 	}
 	budget := cfg.Budget * refGrid
 	pristine := sc.Portfolio.OffsiteKWh.Copy()
-	costs := make([]float64, 0, len(shares))
-	var base float64
-	for i, share := range shares {
+	// Each share clones the scenario and portfolio before rewriting the
+	// off-site/REC split, keeping the parallel workers independent.
+	sums, err := mapIndexed(cfg.workers(), len(shares), func(i int) (sim.Summary, error) {
 		offsite := pristine.Copy()
-		renewable.ScaleToTotal(offsite, sc.Slots, share*budget)
-		sc.Portfolio.OffsiteKWh = offsite
-		sc.Portfolio.RECsKWh = (1 - share) * budget
-		s, _, err := runCOCA(sc, v)
-		if err != nil {
-			return nil, nil, err
-		}
-		if i == 0 {
-			base = s.AvgHourlyCostUSD
-		}
-		costs = append(costs, s.AvgHourlyCostUSD/base)
+		renewable.ScaleToTotal(offsite, sc.Slots, shares[i]*budget)
+		run := sc.Clone()
+		run.Portfolio = sc.Portfolio.Clone()
+		run.Portfolio.OffsiteKWh = offsite
+		run.Portfolio.RECsKWh = (1 - shares[i]) * budget
+		s, _, err := runCOCA(run, v)
+		return s, err
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	costs := make([]float64, len(shares))
+	base := sums[0].AvgHourlyCostUSD
+	for i := range sums {
+		costs[i] = sums[i].AvgHourlyCostUSD / base
 	}
 	return shares, costs, nil
 }

@@ -102,17 +102,21 @@ func GeoStudy(cfg Config) (GeoResult, error) {
 	}
 
 	var res GeoResult
-	var err error
-	var shares []float64
-	res.SmartCostUSD, res.SmartGridKWh, shares, err = run(true)
+	// The smart and naive runs operate on independent site clones: fan out.
+	type geoRun struct {
+		cost, grid float64
+		shares     []float64
+	}
+	runs, err := mapIndexed(cfg.workers(), 2, func(i int) (geoRun, error) {
+		cost, grid, shares, err := run(i == 0)
+		return geoRun{cost, grid, shares}, err
+	})
 	if err != nil {
 		return res, err
 	}
-	res.NaiveCostUSD, res.NaiveGridKWh, _, err = run(false)
-	if err != nil {
-		return res, err
-	}
-	res.SiteLoadShare = shares
+	res.SmartCostUSD, res.SmartGridKWh = runs[0].cost, runs[0].grid
+	res.NaiveCostUSD, res.NaiveGridKWh = runs[1].cost, runs[1].grid
+	res.SiteLoadShare = runs[0].shares
 	for _, s := range sites {
 		res.SiteNames = append(res.SiteNames, s.Name)
 	}

@@ -1,0 +1,75 @@
+package experiments
+
+import (
+	"runtime"
+	"sync"
+)
+
+// workers resolves the configured fan-out: Workers > 0 is taken literally
+// (1 = strictly sequential), 0 defaults to all cores.
+func (c Config) workers() int {
+	if c.Workers > 0 {
+		return c.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// mapIndexed evaluates fn over the indices [0, n) on a bounded pool of
+// workers and returns the results in index order, so the output — and any
+// rendering done from it — is byte-identical whatever the worker count.
+// Jobs must be independent: each writes only its own slot. On failure the
+// lowest-index error is returned (the one the sequential path would have
+// hit first), keeping error reporting deterministic too.
+func mapIndexed[T any](workers, n int, fn func(int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	if workers <= 1 || n <= 1 {
+		for i := 0; i < n; i++ {
+			v, err := fn(i)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = v
+		}
+		return out, nil
+	}
+	if workers > n {
+		workers = n
+	}
+	var (
+		mu       sync.Mutex
+		next     int
+		errIdx   int = n
+		firstErr error
+		wg       sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				i := next
+				next++
+				mu.Unlock()
+				if i >= n {
+					return
+				}
+				v, err := fn(i)
+				if err != nil {
+					mu.Lock()
+					if i < errIdx {
+						errIdx, firstErr = i, err
+					}
+					mu.Unlock()
+					continue
+				}
+				out[i] = v
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
+}

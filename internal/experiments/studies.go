@@ -30,7 +30,7 @@ func PredictionErrorStudy(cfg Config) ([]PredictionPoint, sim.Summary, error) {
 	if err != nil {
 		return nil, sim.Summary{}, err
 	}
-	_, coca, err := TuneV(sc, cfg.VGrid)
+	_, coca, err := tuneV(sc, cfg.VGrid, cfg.workers())
 	if err != nil {
 		return nil, sim.Summary{}, err
 	}
@@ -42,24 +42,29 @@ func PredictionErrorStudy(cfg Config) ([]PredictionPoint, sim.Summary, error) {
 		predict.ProfileEWMA{Alpha: 0.3},
 		predict.SeasonalNaive{Period: trace.HoursPerWeek},
 	}
-	var out []PredictionPoint
-	for _, f := range forecasters {
+	// Every forecaster carries its own seed (fixed per arm, not drawn from
+	// shared state), so the arms fan out deterministically.
+	out, err := mapIndexed(cfg.workers(), len(forecasters), func(i int) (PredictionPoint, error) {
+		f := forecasters[i]
 		forecast := f.Forecast(sc.Workload)
 		php, err := baseline.NewPerfectHPWithForecast(sc, 48, forecast)
 		if err != nil {
-			return nil, sim.Summary{}, err
+			return PredictionPoint{}, err
 		}
 		res, err := sim.Run(sc, php)
 		if err != nil {
-			return nil, sim.Summary{}, err
+			return PredictionPoint{}, err
 		}
 		s := sim.Summarize(sc, res)
-		out = append(out, PredictionPoint{
+		return PredictionPoint{
 			Forecaster: f.Name(),
 			MAPE:       predict.MAPE(sc.Workload, forecast),
 			AvgCostUSD: s.AvgHourlyCostUSD,
 			CostVsCoca: s.AvgHourlyCostUSD / coca.AvgHourlyCostUSD,
-		})
+		}, nil
+	})
+	if err != nil {
+		return nil, sim.Summary{}, err
 	}
 	if cfg.Out != nil {
 		t := report.NewTable("Prediction-error study: PerfectHP under imperfect forecasts vs COCA",
@@ -99,7 +104,7 @@ func DelayValidation(cfg Config, samples int) ([]DelayValidationPoint, float64, 
 	if err != nil {
 		return nil, 0, err
 	}
-	v, _, err := TuneV(sc, cfg.VGrid)
+	v, _, err := tuneV(sc, cfg.VGrid, cfg.workers())
 	if err != nil {
 		return nil, 0, err
 	}
@@ -174,7 +179,7 @@ func RenewableShareSeries(sc *sim.Scenario, run *sim.Result) []float64 {
 		}
 		var energy, grid float64
 		for _, rec := range run.Records[lo:hi] {
-			energy += rec.PowerKW
+			energy += rec.EnergyKWh
 			grid += rec.GridKWh
 		}
 		if energy > 0 {

@@ -123,7 +123,7 @@ type SiteOutcome struct {
 	PowerKW   float64
 	GridKWh   float64
 	DelayCost float64
-	CostUSD   float64 // w_k·grid + β·delay
+	CostUSD   float64 // the site's dcmodel.Ledger charge: w_k·grid + β·delay
 }
 
 // StepOutcome is a stepped slot across the federation.
@@ -144,6 +144,21 @@ func (sys *System) siteProblem(k int, v, mu float64) *p3.HomogeneousProblem {
 		LambdaRPS: mu,
 		We:        we, Wd: wd,
 		OnsiteKW: site.Portfolio.OnsiteKW.Values[t],
+	}
+}
+
+// siteLedger builds site k's slot-cost kernel for the current slot. All
+// site charging goes through it, so geo shares the exact accounting of
+// internal/sim and internal/core.
+func (sys *System) siteLedger(k int) dcmodel.Ledger {
+	site := &sys.Sites[k]
+	t := sys.slot
+	return dcmodel.Ledger{
+		PriceUSDPerKWh: site.Price.Values[t],
+		OnsiteKW:       site.Portfolio.OnsiteKW.Values[t],
+		Beta:           sys.Beta,
+		Alpha:          site.Portfolio.Alpha,
+		RECPerSlotKWh:  site.Portfolio.RECPerSlotKWh(sys.Slots),
 	}
 }
 
@@ -212,8 +227,9 @@ func (sys *System) Step(lambda float64, v float64) (StepOutcome, error) {
 				return StepOutcome{}, fmt.Errorf("geo: site %s: %w", sys.Sites[i].Name, err)
 			}
 			so.Speed, so.Active = sol.Speed, sol.Active
-			so.PowerKW, so.GridKWh, so.DelayCost = sol.PowerKW, sol.GridKWh, sol.DelayCost
-			so.CostUSD = sys.Sites[i].Price.Values[sys.slot]*sol.GridKWh + sys.Beta*sol.DelayCost
+			ch := sys.siteLedger(i).Charge(sol.PowerKW, sol.DelayCost, 0)
+			so.PowerKW, so.GridKWh, so.DelayCost = ch.PowerKW, ch.GridKWh, ch.DelayCost
+			so.CostUSD = ch.TotalUSD
 		}
 		out.Sites[i] = so
 		out.TotalCostUSD += so.CostUSD
@@ -251,8 +267,9 @@ func (sys *System) ProportionalSplit(lambda float64, v float64) (StepOutcome, er
 				return StepOutcome{}, err
 			}
 			so.Speed, so.Active = sol.Speed, sol.Active
-			so.PowerKW, so.GridKWh, so.DelayCost = sol.PowerKW, sol.GridKWh, sol.DelayCost
-			so.CostUSD = sys.Sites[i].Price.Values[sys.slot]*sol.GridKWh + sys.Beta*sol.DelayCost
+			ch := sys.siteLedger(i).Charge(sol.PowerKW, sol.DelayCost, 0)
+			so.PowerKW, so.GridKWh, so.DelayCost = ch.PowerKW, ch.GridKWh, ch.DelayCost
+			so.CostUSD = ch.TotalUSD
 		}
 		out.Sites[i] = so
 		out.TotalCostUSD += so.CostUSD

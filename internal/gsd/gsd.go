@@ -24,6 +24,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 
 	"repro/internal/dcmodel"
 	"repro/internal/loadbalance"
@@ -259,28 +260,62 @@ func Solve(p *dcmodel.SlotProblem, opts Options) (Result, error) {
 	return e.run(loadbalance.Solve), nil
 }
 
-// Solver adapts GSD to the p3.Solver interface.
+// Solver adapts GSD to the p3.Solver interface. Opts configures the first
+// call; the per-run state the solver evolves between calls (the advancing
+// seed and the warm-start speeds) lives behind a mutex, so a Solver is
+// safe for concurrent use and Solve never mutates Opts.
 type Solver struct {
 	Opts Options
+
+	mu      sync.Mutex
+	started bool
+	seed    uint64
+	warm    []int
+}
+
+// Clone returns a fresh solver with the same Options and none of the
+// evolved per-run state (seed advance, warm start) — the right way to hand
+// each concurrent experiment worker its own independent sample path.
+func (s *Solver) Clone() *Solver {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return &Solver{Opts: s.Opts}
+}
+
+// next snapshots the options for one run and reserves the following seed,
+// so concurrent calls never replay identical sample paths.
+func (s *Solver) next() Options {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	opts := s.Opts
+	if s.started {
+		opts.Seed = s.seed
+		opts.InitSpeeds = s.warm
+	}
+	s.started = true
+	s.seed = opts.Seed*6364136223846793005 + 1442695040888963407
+	return opts
 }
 
 // Solve implements p3.Solver. The seed is advanced on every call so repeated
-// slots do not replay the same sample path; pass a fresh Solver for
-// reproducibility of a single slot. Each slot warm-starts from the previous
-// slot's decision, falling back to the all-top-speed initialization when the
-// warm start cannot carry the new load.
+// slots do not replay the same sample path; pass a fresh Solver (or Clone)
+// for reproducibility of a single slot. Each slot warm-starts from the
+// previous slot's decision, falling back to the all-top-speed
+// initialization when the warm start cannot carry the new load.
 func (s *Solver) Solve(p *dcmodel.SlotProblem) (dcmodel.Solution, error) {
-	res, err := Solve(p, s.Opts)
+	opts := s.next()
+	res, err := Solve(p, opts)
 	if errors.Is(err, ErrInfeasibleInit) {
-		cold := s.Opts
+		cold := opts
 		cold.InitSpeeds = nil
 		res, err = Solve(p, cold)
 	}
 	if err != nil {
 		return dcmodel.Solution{}, err
 	}
-	s.Opts.Seed = s.Opts.Seed*6364136223846793005 + 1442695040888963407
 	// Warm-start the next slot from this slot's decision.
-	s.Opts.InitSpeeds = append([]int(nil), res.Solution.Speeds...)
+	s.mu.Lock()
+	s.warm = append([]int(nil), res.Solution.Speeds...)
+	s.mu.Unlock()
 	return res.Solution, nil
 }

@@ -1,0 +1,95 @@
+package gsd
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+)
+
+// TestSolverDoesNotMutateOpts pins the satellite fix: Solve must leave the
+// caller's Options untouched (no seed advance, no warm-start write), so a
+// Solver value can be rebuilt or compared against its literal.
+func TestSolverDoesNotMutateOpts(t *testing.T) {
+	opts := Options{Delta: 1e4, MaxIters: 200, Seed: 11}
+	s := &Solver{Opts: opts}
+	p := smallProblem(3, 40)
+	for i := 0; i < 3; i++ {
+		if _, err := s.Solve(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !reflect.DeepEqual(s.Opts, opts) {
+		t.Errorf("Solve mutated Opts: %+v, want %+v", s.Opts, opts)
+	}
+}
+
+// TestSolverSequenceDeterministic pins the evolved per-run state: two
+// solvers built from the same Options must replay identical decision
+// sequences (the seed advance and warm start moved behind the mutex
+// without changing sequential behavior).
+func TestSolverSequenceDeterministic(t *testing.T) {
+	mk := func() *Solver { return &Solver{Opts: Options{Delta: 1e4, MaxIters: 300, Seed: 7}} }
+	a, b := mk(), mk()
+	for i := 0; i < 4; i++ {
+		lambda := 30 + 10*float64(i%3)
+		sa, err := a.Solve(smallProblem(3, lambda))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sb, err := b.Solve(smallProblem(3, lambda))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(sa.Speeds, sb.Speeds) || sa.Value != sb.Value {
+			t.Fatalf("call %d diverged: %v (%v) vs %v (%v)", i, sa.Speeds, sa.Value, sb.Speeds, sb.Value)
+		}
+	}
+}
+
+// TestSolverCloneResetsRunState verifies Clone starts from the original
+// Options, not from the evolved seed/warm-start — a clone replays the
+// solver's first-call behavior.
+func TestSolverCloneResetsRunState(t *testing.T) {
+	s := &Solver{Opts: Options{Delta: 1e4, MaxIters: 300, Seed: 7}}
+	p := smallProblem(3, 40)
+	first, err := s.Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Solve(smallProblem(3, 55)); err != nil {
+		t.Fatal(err)
+	}
+	again, err := s.Clone().Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(first.Speeds, again.Speeds) || first.Value != again.Value {
+		t.Errorf("clone diverged from the original first call: %v vs %v", again, first)
+	}
+}
+
+// TestSolverConcurrentSolve hammers one Solver from many goroutines; run
+// under -race this is the regression test for the shared-Opts data race,
+// and the reserved-seed scheme means no two calls replay one sample path.
+func TestSolverConcurrentSolve(t *testing.T) {
+	s := &Solver{Opts: Options{Delta: 1e4, MaxIters: 100, Seed: 3}}
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 2; i++ {
+				if _, err := s.Solve(smallProblem(2, 20+5*float64(g%3))); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}

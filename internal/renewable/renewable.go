@@ -119,6 +119,15 @@ type Portfolio struct {
 	Alpha      float64      // α
 }
 
+// Clone returns a shallow copy of the portfolio: the scalar knobs
+// (RECsKWh, Alpha) are independent while the generation traces — read-only
+// in every consumer — stay shared. Experiment workers that vary portfolio
+// scalars concurrently clone first.
+func (p *Portfolio) Clone() *Portfolio {
+	out := *p
+	return &out
+}
+
 // Validate reports whether the portfolio is well formed for a horizon of
 // the given number of slots.
 func (p *Portfolio) Validate(slots int) error {

@@ -98,6 +98,22 @@ type Scenario struct {
 	// the recorded delay cost. Being decision-independent it does not
 	// change any policy's optimum, only the accounting. Nil disables.
 	NetworkDelaySec *trace.Trace
+
+	// SlotHours is the slot duration in hours; 0 means 1 (the paper's
+	// hourly slots). It is threaded into every slot's Ledger, where it is
+	// the single kW→kWh conversion: grid draw and facility energy scale
+	// with it, while delay cost (a per-slot aggregate) and switching
+	// energy (per toggle) do not.
+	SlotHours float64
+}
+
+// Clone returns a shallow copy of the scenario. Traces and the portfolio
+// are shared — they are read-only during runs — so cloning is the cheap
+// way for concurrent sweeps to vary scalar knobs (Overestimate,
+// SwitchCostKWh, Tariff, ...) without racing on a shared Scenario.
+func (sc *Scenario) Clone() *Scenario {
+	out := *sc
+	return &out
 }
 
 // Validate reports whether the scenario is well formed.
@@ -144,6 +160,9 @@ func (sc *Scenario) Validate() error {
 	if sc.NetworkDelaySec != nil && sc.NetworkDelaySec.Len() < sc.Slots {
 		return errors.New("sim: network-delay trace shorter than horizon")
 	}
+	if sc.SlotHours < 0 {
+		return fmt.Errorf("sim: negative slot duration %v", sc.SlotHours)
+	}
 	maxLambda := stats.MaxOf(sc.Workload.Values[:sc.Slots])
 	if maxLambda > sc.Capacity() {
 		return fmt.Errorf("sim: peak workload %v exceeds usable capacity %v", maxLambda, sc.Capacity())
@@ -170,6 +189,24 @@ func (sc *Scenario) Observe(t int) Observation {
 	}
 }
 
+// LedgerAt builds the shared slot-cost kernel for slot t with the REC
+// allowance z (callers that step many slots compute z once via
+// Portfolio.RECPerSlotKWh and pass it in).
+func (sc *Scenario) LedgerAt(t int, zPerSlot float64) dcmodel.Ledger {
+	return dcmodel.Ledger{
+		PriceUSDPerKWh: sc.Price.Values[t],
+		OnsiteKW:       sc.Portfolio.OnsiteKW.Values[t],
+		Beta:           sc.Beta,
+		SlotHours:      sc.SlotHours,
+		Tariff:         sc.Tariff,
+		SwitchCostKWh:  sc.SwitchCostKWh,
+		Alpha:          sc.Portfolio.Alpha,
+		RECPerSlotKWh:  zPerSlot,
+		MaxPowerKW:     sc.MaxPowerKW,
+		MaxDelayCost:   sc.MaxDelayCost,
+	}
+}
+
 // SlotRecord is the full accounting of one operated slot.
 type SlotRecord struct {
 	Slot           int
@@ -182,6 +219,7 @@ type SlotRecord struct {
 	Active int
 
 	PowerKW        float64
+	EnergyKWh      float64 // facility energy p·SlotHours, incl. on-site-covered power
 	GridKWh        float64
 	ElectricityUSD float64
 	DelayCost      float64
@@ -204,47 +242,124 @@ type Result struct {
 // carry the slot's true arrivals (the paper's model never drops workload).
 var ErrOverload = errors.New("sim: configuration cannot carry the offered load")
 
-// Run drives the policy over the scenario's horizon.
-func Run(sc *Scenario, p Policy) (*Result, error) {
+// ErrDone is returned by Engine.Step once the horizon is exhausted.
+var ErrDone = errors.New("sim: run already complete")
+
+// Observer is a per-slot instrumentation hook: it receives every operated
+// slot's record as soon as the slot settles, before the policy's feedback.
+// Observers must not retain or mutate engine state; they are for metrics,
+// streaming exports and tests.
+type Observer func(rec SlotRecord)
+
+// Engine is the resumable, step-wise slot executor: it drives a policy
+// over a scenario one slot at a time, charging each slot through the
+// shared dcmodel.Ledger kernel. Run is a thin wrapper that steps an Engine
+// to completion; callers that need per-slot control (checkpointing,
+// interleaving several runs, live dashboards) step it themselves:
+//
+//	e, err := NewEngine(sc, policy)
+//	for !e.Done() {
+//		if err := e.Step(); err != nil { ... }
+//	}
+//	res := e.Result()
+type Engine struct {
+	sc        *Scenario
+	policy    Policy
+	res       *Result
+	observers []Observer
+
+	zPerSlot   float64
+	prevActive int
+	t          int
+}
+
+// NewEngine validates the scenario and prepares a run of the policy over
+// it. Observers, if any, are invoked in order for every operated slot.
+func NewEngine(sc *Scenario, p Policy, observers ...Observer) (*Engine, error) {
 	if err := sc.Validate(); err != nil {
 		return nil, err
 	}
-	res := &Result{Policy: p.Name(), Records: make([]SlotRecord, 0, sc.Slots)}
-	prevActive := 0
-	zPerSlot := sc.Portfolio.RECPerSlotKWh(sc.Slots)
-	for t := 0; t < sc.Slots; t++ {
-		obs := sc.Observe(t)
-		cfg, err := p.Decide(obs)
-		if err != nil {
-			return nil, fmt.Errorf("sim: slot %d: %w", t, err)
-		}
-		rec, err := sc.operate(t, cfg, prevActive, zPerSlot)
-		if err != nil {
-			return nil, fmt.Errorf("sim: slot %d: %w", t, err)
-		}
-		res.Records = append(res.Records, rec)
-		p.Observe(Feedback{
-			Slot:       t,
-			GridKWh:    rec.GridKWh,
-			OffsiteKWh: rec.OffsiteKWh,
-			TotalUSD:   rec.TotalUSD,
-		})
-		prevActive = cfg.Active
+	return &Engine{
+		sc:        sc,
+		policy:    p,
+		res:       &Result{Policy: p.Name(), Records: make([]SlotRecord, 0, sc.Slots)},
+		observers: observers,
+		zPerSlot:  sc.Portfolio.RECPerSlotKWh(sc.Slots),
+	}, nil
+}
+
+// Done reports whether the horizon is exhausted.
+func (e *Engine) Done() bool { return e.t >= e.sc.Slots }
+
+// Slot returns the next slot index to be stepped.
+func (e *Engine) Slot() int { return e.t }
+
+// Result returns the run so far. After Done it is the completed run; the
+// returned value aliases the engine's records.
+func (e *Engine) Result() *Result { return e.res }
+
+// Step executes one slot: observe, decide, operate and charge through the
+// Ledger, notify observers, and reveal the realized feedback to the
+// policy. A failed step leaves the engine at the failed slot.
+func (e *Engine) Step() error {
+	if e.Done() {
+		return ErrDone
 	}
-	return res, nil
+	t := e.t
+	obs := e.sc.Observe(t)
+	cfg, err := e.policy.Decide(obs)
+	if err != nil {
+		return fmt.Errorf("sim: slot %d: %w", t, err)
+	}
+	rec, err := e.sc.operate(t, cfg, e.prevActive, e.zPerSlot)
+	if err != nil {
+		return fmt.Errorf("sim: slot %d: %w", t, err)
+	}
+	e.res.Records = append(e.res.Records, rec)
+	for _, ob := range e.observers {
+		ob(rec)
+	}
+	e.policy.Observe(Feedback{
+		Slot:       t,
+		GridKWh:    rec.GridKWh,
+		OffsiteKWh: rec.OffsiteKWh,
+		TotalUSD:   rec.TotalUSD,
+	})
+	e.prevActive = cfg.Active
+	e.t++
+	return nil
+}
+
+// Run drives the policy over the scenario's horizon: a thin wrapper that
+// steps a fresh Engine to completion.
+func Run(sc *Scenario, p Policy) (*Result, error) {
+	return RunObserved(sc, p)
+}
+
+// RunObserved is Run with per-slot instrumentation hooks.
+func RunObserved(sc *Scenario, p Policy, observers ...Observer) (*Result, error) {
+	e, err := NewEngine(sc, p, observers...)
+	if err != nil {
+		return nil, err
+	}
+	for !e.Done() {
+		if err := e.Step(); err != nil {
+			return nil, err
+		}
+	}
+	return e.Result(), nil
 }
 
 // operate charges one slot of the given configuration against the true
-// environment.
+// environment through the shared Ledger kernel.
 func (sc *Scenario) operate(t int, cfg Config, prevActive int, zPerSlot float64) (SlotRecord, error) {
 	lambda := sc.Workload.Values[t]
-	price := sc.Price.Values[t]
-	onsite := sc.Portfolio.OnsiteKW.Values[t]
 	offsite := sc.Portfolio.OffsiteKWh.Values[t]
+	led := sc.LedgerAt(t, zPerSlot)
 
 	rec := SlotRecord{
-		Slot: t, LambdaRPS: lambda, PriceUSDPerKWh: price,
-		OnsiteKW: onsite, OffsiteKWh: offsite,
+		Slot: t, LambdaRPS: lambda, PriceUSDPerKWh: led.PriceUSDPerKWh,
+		OnsiteKW: led.OnsiteKW, OffsiteKWh: offsite,
 		Speed: cfg.Speed, Active: cfg.Active,
 	}
 	if cfg.Active < 0 || cfg.Active > sc.N {
@@ -263,30 +378,32 @@ func (sc *Scenario) operate(t int, cfg Config, prevActive int, zPerSlot float64)
 				ErrOverload, perServer, sc.Gamma*sc.Server.Rate(cfg.Speed))
 		}
 	}
+	powerKW, delayCost := 0.0, 0.0
 	if cfg.Active > 0 && cfg.Speed > 0 {
 		g := dcmodel.Group{Type: sc.Server, N: cfg.Active}
-		rec.PowerKW = sc.PUE * g.PowerKW(cfg.Speed, lambda)
-		rec.DelayCost = g.DelayCost(cfg.Speed, lambda)
+		powerKW = sc.PUE * g.PowerKW(cfg.Speed, lambda)
+		delayCost = g.DelayCost(cfg.Speed, lambda)
 	}
-	if sc.MaxPowerKW > 0 && rec.PowerKW > sc.MaxPowerKW*(1+1e-9) {
-		return rec, fmt.Errorf("sim: power %v kW exceeds the peak-power cap %v", rec.PowerKW, sc.MaxPowerKW)
+	if err := led.CheckCaps(powerKW, delayCost); err != nil {
+		rec.PowerKW, rec.DelayCost = powerKW, delayCost
+		return rec, err
 	}
-	if sc.MaxDelayCost > 0 && rec.DelayCost > sc.MaxDelayCost*(1+1e-9) {
-		return rec, fmt.Errorf("sim: delay cost %v exceeds the cap %v", rec.DelayCost, sc.MaxDelayCost)
-	}
+	// The §2.3 network delay is charged after the caps: it is
+	// decision-independent, so the §3.1 constraints apply to the data
+	// center's own delay only.
 	if sc.NetworkDelaySec != nil {
-		rec.DelayCost += lambda * sc.NetworkDelaySec.Values[t]
+		delayCost += lambda * sc.NetworkDelaySec.Values[t]
 	}
-	rec.GridKWh = math.Max(0, rec.PowerKW-onsite)
-	if sc.Tariff != nil {
-		rec.ElectricityUSD = price * sc.Tariff.Cost(rec.GridKWh)
-	} else {
-		rec.ElectricityUSD = price * rec.GridKWh
-	}
-	rec.DelayUSD = sc.Beta * rec.DelayCost
-	rec.SwitchUSD = price * sc.SwitchCostKWh * math.Abs(float64(cfg.Active-prevActive))
-	rec.TotalUSD = rec.ElectricityUSD + rec.DelayUSD + rec.SwitchUSD
-	rec.DeficitKWh = rec.GridKWh - sc.Portfolio.Alpha*offsite - zPerSlot
+	ch := led.Charge(powerKW, delayCost, cfg.Active-prevActive)
+	rec.PowerKW = ch.PowerKW
+	rec.EnergyKWh = ch.EnergyKWh
+	rec.GridKWh = ch.GridKWh
+	rec.ElectricityUSD = ch.ElectricityUSD
+	rec.DelayCost = ch.DelayCost
+	rec.DelayUSD = ch.DelayUSD
+	rec.SwitchUSD = ch.SwitchUSD
+	rec.TotalUSD = ch.TotalUSD
+	rec.DeficitKWh = led.Deficit(ch.GridKWh, offsite)
 	return rec, nil
 }
 
@@ -294,6 +411,9 @@ func (sc *Scenario) operate(t int, cfg Config, prevActive int, zPerSlot float64)
 type Summary struct {
 	Policy string
 	Slots  int
+	// SlotHours is the slot duration the run was charged at (the
+	// scenario's SlotHours, defaulting to the paper's 1-hour slots).
+	SlotHours float64
 
 	AvgHourlyCostUSD    float64
 	AvgElectricityUSD   float64
@@ -319,7 +439,7 @@ type Summary struct {
 
 // Summarize computes the run's aggregates against the scenario's budget.
 func Summarize(sc *Scenario, res *Result) Summary {
-	s := Summary{Policy: res.Policy, Slots: len(res.Records)}
+	s := Summary{Policy: res.Policy, Slots: len(res.Records), SlotHours: dcmodel.Ledger{SlotHours: sc.SlotHours}.Hours()}
 	var cost, elec, delay, sw, grid, energy, deficit float64
 	for _, r := range res.Records {
 		cost += r.TotalUSD
@@ -327,7 +447,7 @@ func Summarize(sc *Scenario, res *Result) Summary {
 		delay += r.DelayUSD
 		sw += r.SwitchUSD
 		grid += r.GridKWh
-		energy += r.PowerKW
+		energy += r.EnergyKWh
 		deficit += r.DeficitKWh
 	}
 	n := float64(len(res.Records))
