@@ -12,6 +12,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/sim"
 	"repro/internal/simtest"
+	"repro/internal/telemetry"
 )
 
 // benchReport is the machine-readable output of -bench-json: per-slot engine
@@ -36,8 +37,9 @@ type benchReport struct {
 }
 
 // runBench measures the step-wise engine and the parallel sweep and writes
-// the report as JSON to path.
-func runBench(path string, workers int) error {
+// the report as JSON to path. The sweep arms feed pool telemetry into reg
+// (nil disables), which main dumps next to the report.
+func runBench(path string, workers int, reg *telemetry.Registry) error {
 	var rep benchReport
 	rep.Cores = runtime.NumCPU()
 	rep.GOMAXPROCS = runtime.GOMAXPROCS(0)
@@ -71,7 +73,7 @@ func runBench(path string, workers int) error {
 	// configs aside from Workers — the determinism tests guarantee the
 	// outputs are byte-identical, so only wall time differs.
 	benchCfg := func(w int) experiments.Config {
-		return experiments.Config{Slots: 60 * 24, N: 2000, Seed: 2012, Workers: w, Out: io.Discard}
+		return experiments.Config{Slots: 60 * 24, N: 2000, Seed: 2012, Workers: w, Out: io.Discard, Telemetry: reg}
 	}
 	seqStart := time.Now()
 	seqRes, err := experiments.Fig2(benchCfg(1))

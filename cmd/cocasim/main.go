@@ -28,6 +28,7 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/report"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -41,25 +42,65 @@ func main() {
 		csvDir  = flag.String("csvdir", "", "write figure data as CSV files into this directory (fig2/fig3 series)")
 		workers = flag.Int("workers", 0, "worker pool for independent runs (0: all cores, 1: sequential; results are identical either way)")
 		bench   = flag.String("bench-json", "", "run the engine/sweep benchmark and write the JSON report to this path, then exit")
+
+		stream      = flag.String("stream", "", "single-run mode: stream one NDJSON record per settled slot to this path (- for stdout)")
+		policy      = flag.String("policy", "coca", "policy for -stream single-run mode: coca|unaware")
+		vParam      = flag.Float64("v", 240, "COCA cost-carbon parameter V for -stream (the paper's neutral point is ~240)")
+		metricsAddr = flag.String("metrics-addr", "", "serve live telemetry on this address (/metrics JSON, /debug/vars expvar, /debug/pprof)")
+		telemJSON   = flag.String("telemetry-json", "", "write the final telemetry snapshot as JSON to this path")
 	)
 	flag.Parse()
 
+	reg := telemetry.NewRegistry()
+	if *metricsAddr != "" {
+		_, addr, err := telemetry.Serve(*metricsAddr, reg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "metrics server failed: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "telemetry on http://%s (/metrics, /debug/vars, /debug/pprof)\n", addr)
+	}
+	finishTelemetry := func() {
+		if *telemJSON == "" {
+			return
+		}
+		if err := writeTelemetry(*telemJSON, reg); err != nil {
+			fmt.Fprintf(os.Stderr, "telemetry snapshot failed: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
 	if *bench != "" {
-		if err := runBench(*bench, *workers); err != nil {
+		// The benchmark's telemetry summary lands next to the report.
+		if *telemJSON == "" {
+			*telemJSON = strings.TrimSuffix(*bench, ".json") + ".telemetry.json"
+		}
+		if err := runBench(*bench, *workers, reg); err != nil {
 			fmt.Fprintf(os.Stderr, "bench failed: %v\n", err)
 			os.Exit(1)
 		}
+		finishTelemetry()
 		return
 	}
 
 	cfg := experiments.Config{
-		Slots:   *slots,
-		N:       *n,
-		Beta:    *beta,
-		Budget:  *budget,
-		Seed:    *seed,
-		Workers: *workers,
-		Out:     os.Stdout,
+		Slots:     *slots,
+		N:         *n,
+		Beta:      *beta,
+		Budget:    *budget,
+		Seed:      *seed,
+		Workers:   *workers,
+		Out:       os.Stdout,
+		Telemetry: reg,
+	}
+
+	if *stream != "" {
+		if err := runSingle(cfg, *policy, *vParam, *stream, reg); err != nil {
+			fmt.Fprintf(os.Stderr, "run failed: %v\n", err)
+			os.Exit(1)
+		}
+		finishTelemetry()
+		return
 	}
 
 	runners := map[string]func() error{
@@ -131,6 +172,7 @@ func main() {
 		}
 		fmt.Printf("[%s completed in %v]\n", name, time.Since(start).Round(time.Millisecond))
 	}
+	finishTelemetry()
 }
 
 // writeFig2CSV exports the Fig. 2 sweep and the varying-V moving averages.

@@ -1,0 +1,83 @@
+package main
+
+// Single-run mode (-stream): drive one policy over the calibrated scenario
+// with the full telemetry stack attached — per-slot NDJSON streaming as
+// slots settle, run instruments in the shared registry, and the policy's
+// carbon-deficit queue exported as a gauge.
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/lyapunov"
+	"repro/internal/sim"
+	"repro/internal/telemetry"
+)
+
+// runSingle runs one policy over cfg's scenario, streaming every settled
+// slot to streamPath ("-" for stdout) and folding run metrics into reg.
+func runSingle(cfg experiments.Config, policyName string, v float64, streamPath string, reg *telemetry.Registry) error {
+	sc, _, err := cfg.Scenario(false)
+	if err != nil {
+		return err
+	}
+
+	rm := telemetry.NewRunMetrics(reg, "run")
+	var policy sim.Policy
+	switch policyName {
+	case "coca":
+		p, err := core.New(core.FromScenario(sc, lyapunov.ConstantV(v, 1, sc.Slots)))
+		if err != nil {
+			return err
+		}
+		p.InstrumentQueue(rm.Queue)
+		policy = p
+	case "unaware":
+		policy = baseline.NewUnaware(sc)
+	default:
+		return fmt.Errorf("unknown policy %q (coca or unaware)", policyName)
+	}
+
+	observers := []sim.Observer{rm.Observer()}
+	if streamPath != "" {
+		var w io.Writer = os.Stdout
+		if streamPath != "-" {
+			f, err := os.Create(streamPath)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			w = f
+		}
+		streamer := telemetry.NewSlotStreamer(w)
+		defer streamer.Close()
+		observers = append(observers, streamer.Observer())
+	}
+
+	res, err := sim.RunObserved(sc, policy, observers...)
+	if err != nil {
+		return err
+	}
+	s := sim.Summarize(sc, res)
+	fmt.Printf("%s over %d slots: avg cost $%.2f/slot (elec $%.2f, delay $%.2f, switch $%.2f); grid %.0f kWh = %.1f%% of budget\n",
+		res.Policy, s.Slots, s.AvgHourlyCostUSD, s.AvgElectricityUSD, s.AvgDelayUSD, s.AvgSwitchUSD,
+		s.TotalGridKWh, 100*s.BudgetUsedFraction)
+	return nil
+}
+
+// writeTelemetry dumps the registry's final snapshot as JSON to path.
+func writeTelemetry(path string, reg *telemetry.Registry) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := reg.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

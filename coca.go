@@ -1,6 +1,10 @@
 package coca
 
 import (
+	"io"
+	"net"
+	"net/http"
+
 	"repro/internal/baseline"
 	"repro/internal/batch"
 	"repro/internal/core"
@@ -16,6 +20,7 @@ import (
 	"repro/internal/renewable"
 	"repro/internal/sim"
 	"repro/internal/simtest"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
 
@@ -305,6 +310,52 @@ func ForecastMAPE(truth, forecast *Trace) float64 { return predict.MAPE(truth, f
 // arbitrary (possibly imperfect) workload forecast driving its caps.
 func NewPerfectHPWithForecast(sc *Scenario, frameHours int, forecast *Trace) (*PerfectHP, error) {
 	return baseline.NewPerfectHPWithForecast(sc, frameHours, forecast)
+}
+
+// Telemetry (run instrumentation): a lightweight metrics registry the
+// engine, the GSD solver, the experiment pool and the cocasim CLI all feed.
+type (
+	// TelemetryRegistry holds named counters, gauges and histograms.
+	TelemetryRegistry = telemetry.Registry
+	// RunMetrics instruments a stream of settled simulation slots.
+	RunMetrics = telemetry.RunMetrics
+	// SolveMetrics instruments a P3 solver (iterations, acceptances,
+	// patience exits, cold fallbacks, per-solve wall time).
+	SolveMetrics = telemetry.SolveMetrics
+	// PoolMetrics instruments the experiment worker pool.
+	PoolMetrics = telemetry.PoolMetrics
+	// SlotStreamer writes one NDJSON record per settled slot.
+	SlotStreamer = telemetry.SlotStreamer
+)
+
+// NewTelemetryRegistry returns an empty metrics registry.
+func NewTelemetryRegistry() *TelemetryRegistry { return telemetry.NewRegistry() }
+
+// NewRunMetrics registers run instruments under prefix; attach
+// RunMetrics.Observer to an Engine to feed them.
+func NewRunMetrics(r *TelemetryRegistry, prefix string) *RunMetrics {
+	return telemetry.NewRunMetrics(r, prefix)
+}
+
+// NewSolveMetrics registers solver instruments under prefix; set them as
+// GSDOptions.Metrics.
+func NewSolveMetrics(r *TelemetryRegistry, prefix string) *SolveMetrics {
+	return telemetry.NewSolveMetrics(r, prefix)
+}
+
+// NewPoolMetrics registers worker-pool instruments under prefix.
+func NewPoolMetrics(r *TelemetryRegistry, prefix string) *PoolMetrics {
+	return telemetry.NewPoolMetrics(r, prefix)
+}
+
+// NewSlotStreamer streams settled slots as NDJSON to w; attach
+// SlotStreamer.Observer to an Engine.
+func NewSlotStreamer(w io.Writer) *SlotStreamer { return telemetry.NewSlotStreamer(w) }
+
+// ServeTelemetry serves the registry over HTTP (/metrics, /debug/vars,
+// /debug/pprof) on addr and returns the bound listener address.
+func ServeTelemetry(addr string, r *TelemetryRegistry) (*http.Server, net.Addr, error) {
+	return telemetry.Serve(addr, r)
 }
 
 // Queueing validation (paper Eq. 4).

@@ -28,6 +28,7 @@ import (
 	"repro/internal/lyapunov"
 	"repro/internal/p3"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 )
 
 // Config parameterizes COCA for the homogeneous sim engine.
@@ -64,9 +65,18 @@ type Policy struct {
 	cfg   Config
 	queue *lyapunov.DeficitQueue
 
-	prevActive int
-	lastSlot   int
-	vOverride  float64
+	// prevActive is the switching-cost anchor: the active count of the
+	// last configuration the engine actually operated. Decide only
+	// proposes (pendingActive); the anchor is committed when the engine
+	// confirms the slot through Observe, so a rejected step (cap
+	// violation, overload) followed by a retry cannot desync the policy
+	// from the engine's own previous-active state.
+	prevActive    int
+	pendingActive int
+	vOverride     float64
+
+	// queueGauge, when set, exports q(t) to the telemetry layer.
+	queueGauge *telemetry.Gauge
 
 	// QueueTrace records q(t) per slot for analysis when enabled.
 	QueueTrace []float64
@@ -111,6 +121,10 @@ func FromScenario(sc *sim.Scenario, sched lyapunov.VSchedule) Config {
 // RecordQueue enables per-slot queue-length tracing.
 func (p *Policy) RecordQueue() { p.record = true }
 
+// InstrumentQueue exports the carbon-deficit queue length q(t) through
+// the given telemetry gauge, updated on every frame reset and feedback.
+func (p *Policy) InstrumentQueue(g *telemetry.Gauge) { p.queueGauge = g }
+
 // SetV overrides the schedule's cost-carbon parameter for subsequent slots
 // without touching frame boundaries — used by ablation studies that vary V
 // while keeping (or suppressing) queue resets. Zero restores the schedule.
@@ -126,6 +140,9 @@ func (p *Policy) Queue() float64 { return p.queue.Len() }
 func (p *Policy) Decide(obs sim.Observation) (sim.Config, error) {
 	if p.cfg.Schedule.FrameStart(obs.Slot) {
 		p.queue.Reset()
+		if p.queueGauge != nil {
+			p.queueGauge.Set(p.queue.Len())
+		}
 	}
 	v := p.cfg.Schedule.V(obs.Slot)
 	if p.vOverride > 0 {
@@ -155,17 +172,24 @@ func (p *Policy) Decide(obs sim.Observation) (sim.Config, error) {
 	if err != nil {
 		return sim.Config{}, err
 	}
-	p.prevActive = sol.Active
-	p.lastSlot = obs.Slot
+	// Speculate only: the anchor moves when the engine confirms the slot
+	// (Observe). A rejected Step never reaches Observe, so a retried
+	// Decide re-anchors against the configuration actually operated last.
+	p.pendingActive = sol.Active
 	return sim.Config{Speed: sol.Speed, Active: sol.Active}, nil
 }
 
 // Observe implements sim.Policy: the Eq. (17) queue update with the
-// realized grid draw and off-site generation.
+// realized grid draw and off-site generation, and the commit point for
+// the switching-cost anchor speculated in Decide.
 func (p *Policy) Observe(fb sim.Feedback) {
+	p.prevActive = p.pendingActive
 	q := p.queue.Update(fb.GridKWh, fb.OffsiteKWh)
 	if p.record {
 		p.QueueTrace = append(p.QueueTrace, q)
+	}
+	if p.queueGauge != nil {
+		p.queueGauge.Set(q)
 	}
 }
 
@@ -180,8 +204,25 @@ type Controller struct {
 	Schedule lyapunov.VSchedule
 	Solver   p3.Solver
 
+	// SlotHours, Tariff and SwitchCostKWh are the Ledger extensions of
+	// the sim path — slot duration, §2.1 nonlinear pricing and the
+	// Fig. 5(d) toggling charge. The zero values reproduce the paper's
+	// defaults; set them (before the first Step) to make heterogeneous
+	// accounting match a sim.Scenario carrying the same knobs.
+	SlotHours     float64
+	Tariff        dcmodel.Tariff
+	SwitchCostKWh float64
+
 	queue *lyapunov.DeficitQueue
 	slot  int
+
+	// prevActive anchors the switching charge. Like sim's COCA policy it
+	// is committed only when the slot settles (Settle), so a failed or
+	// abandoned Step can be retried without desyncing the anchor.
+	prevActive int
+
+	// queueGauge, when set, exports q(t) to the telemetry layer.
+	queueGauge *telemetry.Gauge
 }
 
 // NewController builds a group-level COCA controller.
@@ -213,13 +254,21 @@ type SlotOutcome struct {
 	Solution dcmodel.Solution
 	Cost     dcmodel.CostBreakdown
 	Queue    float64 // q(t) used in the slot's P3 weights
+	// Active is the solution's active-server count; Settle commits it as
+	// the next slot's switching-cost anchor.
+	Active int
 }
 
 // Step runs Algorithm 1 for one slot: frame reset, P3 via the plugged
-// solver, cost accounting. Call Settle afterwards with the realized f(t).
+// solver, cost accounting. Call Settle afterwards with the realized f(t);
+// a Step that is never settled (rejected by the caller, retried after a
+// failure) leaves the controller's state untouched.
 func (c *Controller) Step(env SlotEnv) (SlotOutcome, error) {
 	if c.Schedule.FrameStart(c.slot) {
 		c.queue.Reset()
+		if c.queueGauge != nil {
+			c.queueGauge.Set(c.queue.Len())
+		}
 	}
 	v := c.Schedule.V(c.slot)
 	q := c.queue.Len()
@@ -234,25 +283,41 @@ func (c *Controller) Step(env SlotEnv) (SlotOutcome, error) {
 	if err != nil {
 		return SlotOutcome{}, fmt.Errorf("core: slot %d: %w", c.slot, err)
 	}
-	// Cluster.Cost charges through the shared dcmodel.Ledger kernel, so
-	// the controller's accounting matches internal/sim exactly.
-	cost := c.Cluster.Cost(dcmodel.CostParams{
+	// CostWithSwitching charges through the shared dcmodel.Ledger kernel
+	// with the full extension set — slot duration, nonlinear tariff and
+	// the toggling charge against the last settled slot — so the
+	// controller's accounting matches internal/sim exactly.
+	active := c.Cluster.ActiveServers(sol.Speeds)
+	cost := c.Cluster.CostWithSwitching(dcmodel.CostParams{
 		PriceUSDPerKWh: env.PriceUSDPerKWh,
 		OnsiteKW:       env.OnsiteKW,
 		Beta:           c.Beta,
-	}, sol.Speeds, sol.Load)
-	return SlotOutcome{Solution: sol, Cost: cost, Queue: q}, nil
+		SlotHours:      c.SlotHours,
+		Tariff:         c.Tariff,
+		SwitchCostKWh:  c.SwitchCostKWh,
+	}, sol.Speeds, sol.Load, active-c.prevActive)
+	return SlotOutcome{Solution: sol, Cost: cost, Queue: q, Active: active}, nil
 }
 
-// Settle finishes the slot with the realized off-site generation, updating
-// the deficit queue and advancing the clock.
+// Settle finishes the slot with the realized off-site generation: the
+// Eq. (17) queue update, the switching-anchor commit, and the clock
+// advance. Only settled outcomes move controller state — the same
+// feedback-driven commit discipline as the sim policy's Observe.
 func (c *Controller) Settle(out SlotOutcome, offsiteKWh float64) {
-	c.queue.Update(out.Cost.GridKWh, offsiteKWh)
+	q := c.queue.Update(out.Cost.GridKWh, offsiteKWh)
+	if c.queueGauge != nil {
+		c.queueGauge.Set(q)
+	}
+	c.prevActive = out.Active
 	c.slot++
 }
 
 // Queue exposes the deficit-queue length.
 func (c *Controller) Queue() float64 { return c.queue.Len() }
+
+// InstrumentQueue exports the carbon-deficit queue length q(t) through
+// the given telemetry gauge, updated on every frame reset and Settle.
+func (c *Controller) InstrumentQueue(g *telemetry.Gauge) { c.queueGauge = g }
 
 // Slot returns the next slot index to be stepped.
 func (c *Controller) Slot() int { return c.slot }

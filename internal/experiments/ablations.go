@@ -49,7 +49,7 @@ func Capping(cfg Config) (CappingResult, error) {
 	var res CappingResult
 	res.CapKWh = sc.Portfolio.BudgetKWh(sc.Slots)
 
-	_, cocaSum, err := tuneV(sc, cfg.VGrid, cfg.workers())
+	_, cocaSum, err := tuneV(sc, cfg.VGrid, cfg.workers(), cfg.pool())
 	if err != nil {
 		return res, err
 	}
@@ -114,7 +114,7 @@ func LookaheadSweep(cfg Config, windows []int) ([]LookaheadPoint, float64, error
 		}
 	}
 	// The window sizes are independent dual-bisection plans: fan out.
-	out, err := mapIndexed(cfg.workers(), len(valid), func(i int) (LookaheadPoint, error) {
+	out, err := mapIndexed(cfg.workers(), cfg.pool(), len(valid), func(i int) (LookaheadPoint, error) {
 		T := valid[i]
 		la, err := baseline.NewLookahead(sc, T)
 		if err != nil {
@@ -174,7 +174,7 @@ func FrameResetAblation(cfg Config) (FrameResetResult, error) {
 
 	var res FrameResetResult
 	// The two arms are independent year-long runs: fan out.
-	sums, err := mapIndexed(cfg.workers(), 2, func(i int) (sim.Summary, error) {
+	sums, err := mapIndexed(cfg.workers(), cfg.pool(), 2, func(i int) (sim.Summary, error) {
 		if i == 0 {
 			// Standard COCA: four frames, queue reset at each boundary.
 			p1, err := core.New(core.FromScenario(sc, lyapunov.VSchedule{T: cfg.Slots / 4, Vs: vs}))
@@ -251,7 +251,7 @@ func TariffStudy(cfg Config) (TariffResult, error) {
 	if err != nil {
 		return TariffResult{}, err
 	}
-	v, _, err := tuneV(sc, cfg.VGrid, cfg.workers())
+	v, _, err := tuneV(sc, cfg.VGrid, cfg.workers(), cfg.pool())
 	if err != nil {
 		return TariffResult{}, err
 	}
@@ -311,7 +311,7 @@ func GreenBatch(cfg Config) (GreenBatchResult, error) {
 	if err != nil {
 		return GreenBatchResult{}, err
 	}
-	v, _, err := tuneV(sc, cfg.VGrid, cfg.workers())
+	v, _, err := tuneV(sc, cfg.VGrid, cfg.workers(), cfg.pool())
 	if err != nil {
 		return GreenBatchResult{}, err
 	}

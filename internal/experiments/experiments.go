@@ -16,6 +16,7 @@ import (
 	"repro/internal/lyapunov"
 	"repro/internal/sim"
 	"repro/internal/simtest"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
 
@@ -41,6 +42,10 @@ type Config struct {
 	// VGrid is the sweep for Fig. 2 and the tuning grid for the neutral
 	// operating point; nil selects a default logarithmic grid.
 	VGrid []float64
+
+	// Telemetry, when non-nil, receives experiment-pool progress and
+	// per-job timing under the "pool" prefix. It never affects results.
+	Telemetry *telemetry.Registry
 }
 
 // Default returns the paper-scale configuration.
@@ -129,14 +134,14 @@ func runCOCA(sc *sim.Scenario, v float64) (sim.Summary, *sim.Result, error) {
 // neutrality"). It returns the chosen V and its summary. The grid runs are
 // independent and fan out across all cores.
 func TuneV(sc *sim.Scenario, grid []float64) (float64, sim.Summary, error) {
-	return tuneV(sc, grid, Config{}.workers())
+	return tuneV(sc, grid, Config{}.workers(), nil)
 }
 
 // tuneV is TuneV with an explicit worker count: the grid fans out on the
 // pool, then the winner is picked sequentially so tie-breaking (first V to
 // attain the best fraction) is identical at any worker count.
-func tuneV(sc *sim.Scenario, grid []float64, workers int) (float64, sim.Summary, error) {
-	sums, err := mapIndexed(workers, len(grid), func(i int) (sim.Summary, error) {
+func tuneV(sc *sim.Scenario, grid []float64, workers int, pm *telemetry.PoolMetrics) (float64, sim.Summary, error) {
+	sums, err := mapIndexed(workers, pm, len(grid), func(i int) (sim.Summary, error) {
 		s, _, err := runCOCA(sc, grid[i])
 		return s, err
 	})

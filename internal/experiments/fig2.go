@@ -38,7 +38,7 @@ func Fig2(cfg Config) (Fig2Result, error) {
 	var res Fig2Result
 	// One batch over the V grid plus the carbon-unaware V→∞ reference.
 	vs := append(append([]float64(nil), cfg.VGrid...), 1e15)
-	sums, err := mapIndexed(cfg.workers(), len(vs), func(i int) (sim.Summary, error) {
+	sums, err := mapIndexed(cfg.workers(), cfg.pool(), len(vs), func(i int) (sim.Summary, error) {
 		s, _, err := runCOCA(sc, vs[i])
 		return s, err
 	})

@@ -32,14 +32,14 @@ func Fig3(cfg Config) (Fig3Result, error) {
 		return Fig3Result{}, err
 	}
 	var res Fig3Result
-	res.CocaV, res.Coca, err = tuneV(sc, cfg.VGrid, cfg.workers())
+	res.CocaV, res.Coca, err = tuneV(sc, cfg.VGrid, cfg.workers(), cfg.pool())
 	if err != nil {
 		return res, err
 	}
 	res.CocaNeutral = res.Coca.BudgetUsedFraction <= 1.0
 	// The head-to-head runs are independent: fan out COCA at the tuned V
 	// and PerfectHP together.
-	runs, err := mapIndexed(cfg.workers(), 2, func(i int) (*sim.Result, error) {
+	runs, err := mapIndexed(cfg.workers(), cfg.pool(), 2, func(i int) (*sim.Result, error) {
 		if i == 0 {
 			_, r, err := runCOCA(sc, res.CocaV)
 			return r, err

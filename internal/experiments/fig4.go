@@ -74,7 +74,7 @@ func Fig4(cfg Config) (Fig4Result, error) {
 	deltas := []float64{0.1 * gScale * gScale, 10 * gScale * gScale, 1e4 * gScale * gScale}
 	labels := []string{"low δ", "medium δ", "high δ"}
 	// Each temperature runs its own Gibbs chain under its own seed: fan out.
-	res.DeltaRuns, err = mapIndexed(cfg.workers(), len(deltas), func(i int) (Fig4Run, error) {
+	res.DeltaRuns, err = mapIndexed(cfg.workers(), cfg.pool(), len(deltas), func(i int) (Fig4Run, error) {
 		r, err := gsd.Solve(prob, gsd.Options{
 			Delta: deltas[i], MaxIters: iters, Seed: cfg.Seed + uint64(i),
 			RecordHistory: true,
@@ -114,7 +114,7 @@ func Fig4(cfg Config) (Fig4Result, error) {
 			feasible = append(feasible, in)
 		}
 	}
-	res.InitRuns, err = mapIndexed(cfg.workers(), len(feasible), func(i int) (Fig4Run, error) {
+	res.InitRuns, err = mapIndexed(cfg.workers(), cfg.pool(), len(feasible), func(i int) (Fig4Run, error) {
 		r, err := gsd.Solve(prob, gsd.Options{
 			Delta: fixed, MaxIters: 6 * iters, Seed: cfg.Seed + 77,
 			InitSpeeds: feasible[i].init, RecordHistory: true,

@@ -91,7 +91,7 @@ func Fig5(cfg Config) (Fig5Result, error) {
 // sequential to keep the pool bounded.
 func budgetSweep(cfg Config, msr bool) ([]Fig5BudgetPoint, error) {
 	fracs := []float64{0.85, 0.90, 0.92, 0.95, 1.00, 1.05}
-	return mapIndexed(cfg.workers(), len(fracs), func(i int) (Fig5BudgetPoint, error) {
+	return mapIndexed(cfg.workers(), cfg.pool(), len(fracs), func(i int) (Fig5BudgetPoint, error) {
 		c := cfg
 		c.Budget = fracs[i]
 		c.Out = nil
@@ -106,7 +106,7 @@ func budgetSweep(cfg Config, msr bool) ([]Fig5BudgetPoint, error) {
 		}
 		unSum := sim.Summarize(sc, unRes)
 
-		_, cocaSum, err := tuneV(sc, c.VGrid, 1)
+		_, cocaSum, err := tuneV(sc, c.VGrid, 1, c.pool())
 		if err != nil {
 			return Fig5BudgetPoint{}, err
 		}
@@ -137,13 +137,13 @@ func overestimateSweep(cfg Config) ([]float64, []float64, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	v, _, err := tuneV(sc, cfg.VGrid, cfg.workers())
+	v, _, err := tuneV(sc, cfg.VGrid, cfg.workers(), cfg.pool())
 	if err != nil {
 		return nil, nil, err
 	}
 	// Each factor runs on its own scenario clone, so the parallel workers
 	// never share the mutated Overestimate knob.
-	sums, err := mapIndexed(cfg.workers(), len(factors), func(i int) (sim.Summary, error) {
+	sums, err := mapIndexed(cfg.workers(), cfg.pool(), len(factors), func(i int) (sim.Summary, error) {
 		run := sc.Clone()
 		run.Overestimate = factors[i]
 		s, _, err := runCOCA(run, v)
@@ -170,11 +170,11 @@ func switchSweep(cfg Config) ([]float64, []float64, error) {
 		return nil, nil, err
 	}
 	maxEnergy := sc.Server.MaxBusyKW() // 0.231 kWh per hour at full speed
-	v, _, err := tuneV(sc, cfg.VGrid, cfg.workers())
+	v, _, err := tuneV(sc, cfg.VGrid, cfg.workers(), cfg.pool())
 	if err != nil {
 		return nil, nil, err
 	}
-	sums, err := mapIndexed(cfg.workers(), len(fractions), func(i int) (sim.Summary, error) {
+	sums, err := mapIndexed(cfg.workers(), cfg.pool(), len(fractions), func(i int) (sim.Summary, error) {
 		run := sc.Clone()
 		run.SwitchCostKWh = fractions[i] * maxEnergy
 		s, _, err := runCOCA(run, v)
@@ -202,7 +202,7 @@ func PortfolioMixStudy(cfg Config) ([]float64, []float64, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	v, _, err := tuneV(sc, cfg.VGrid, cfg.workers())
+	v, _, err := tuneV(sc, cfg.VGrid, cfg.workers(), cfg.pool())
 	if err != nil {
 		return nil, nil, err
 	}
@@ -210,7 +210,7 @@ func PortfolioMixStudy(cfg Config) ([]float64, []float64, error) {
 	pristine := sc.Portfolio.OffsiteKWh.Copy()
 	// Each share clones the scenario and portfolio before rewriting the
 	// off-site/REC split, keeping the parallel workers independent.
-	sums, err := mapIndexed(cfg.workers(), len(shares), func(i int) (sim.Summary, error) {
+	sums, err := mapIndexed(cfg.workers(), cfg.pool(), len(shares), func(i int) (sim.Summary, error) {
 		offsite := pristine.Copy()
 		renewable.ScaleToTotal(offsite, sc.Slots, shares[i]*budget)
 		run := sc.Clone()

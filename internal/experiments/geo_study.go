@@ -107,7 +107,7 @@ func GeoStudy(cfg Config) (GeoResult, error) {
 		cost, grid float64
 		shares     []float64
 	}
-	runs, err := mapIndexed(cfg.workers(), 2, func(i int) (geoRun, error) {
+	runs, err := mapIndexed(cfg.workers(), cfg.pool(), 2, func(i int) (geoRun, error) {
 		cost, grid, shares, err := run(i == 0)
 		return geoRun{cost, grid, shares}, err
 	})

@@ -3,6 +3,9 @@ package experiments
 import (
 	"runtime"
 	"sync"
+	"time"
+
+	"repro/internal/telemetry"
 )
 
 // workers resolves the configured fan-out: Workers > 0 is taken literally
@@ -14,17 +17,40 @@ func (c Config) workers() int {
 	return runtime.GOMAXPROCS(0)
 }
 
+// pool returns the experiment pool's telemetry instruments, registered
+// under the "pool" prefix of the configured registry, or nil when
+// telemetry is disabled. Registration is idempotent, so every sweep in a
+// run folds into the same instruments.
+func (c Config) pool() *telemetry.PoolMetrics {
+	if c.Telemetry == nil {
+		return nil
+	}
+	return telemetry.NewPoolMetrics(c.Telemetry, "pool")
+}
+
 // mapIndexed evaluates fn over the indices [0, n) on a bounded pool of
 // workers and returns the results in index order, so the output — and any
 // rendering done from it — is byte-identical whatever the worker count.
 // Jobs must be independent: each writes only its own slot. On failure the
 // lowest-index error is returned (the one the sequential path would have
-// hit first), keeping error reporting deterministic too.
-func mapIndexed[T any](workers, n int, fn func(int) (T, error)) ([]T, error) {
+// hit first), keeping error reporting deterministic too. pm, when non-nil,
+// observes job progress and per-job wall time; it never affects results.
+func mapIndexed[T any](workers int, pm *telemetry.PoolMetrics, n int, fn func(int) (T, error)) ([]T, error) {
+	call := fn
+	if pm != nil {
+		call = func(i int) (T, error) {
+			pm.StartJob()
+			start := time.Now()
+			v, err := fn(i)
+			pm.EndJob(err != nil, time.Since(start).Seconds())
+			return v, err
+		}
+	}
 	out := make([]T, n)
 	if workers <= 1 || n <= 1 {
+		pm.SetWorkers(1)
 		for i := 0; i < n; i++ {
-			v, err := fn(i)
+			v, err := call(i)
 			if err != nil {
 				return nil, err
 			}
@@ -35,6 +61,7 @@ func mapIndexed[T any](workers, n int, fn func(int) (T, error)) ([]T, error) {
 	if workers > n {
 		workers = n
 	}
+	pm.SetWorkers(workers)
 	var (
 		mu       sync.Mutex
 		next     int
@@ -54,7 +81,7 @@ func mapIndexed[T any](workers, n int, fn func(int) (T, error)) ([]T, error) {
 				if i >= n {
 					return
 				}
-				v, err := fn(i)
+				v, err := call(i)
 				if err != nil {
 					mu.Lock()
 					if i < errIdx {

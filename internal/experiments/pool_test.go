@@ -7,11 +7,13 @@ import (
 	"reflect"
 	"sync/atomic"
 	"testing"
+
+	"repro/internal/telemetry"
 )
 
 func TestMapIndexedPreservesOrder(t *testing.T) {
 	for _, workers := range []int{1, 3, 8, 100} {
-		out, err := mapIndexed(workers, 17, func(i int) (int, error) { return i * i, nil })
+		out, err := mapIndexed(workers, nil, 17, func(i int) (int, error) { return i * i, nil })
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -26,7 +28,7 @@ func TestMapIndexedPreservesOrder(t *testing.T) {
 func TestMapIndexedLowestIndexError(t *testing.T) {
 	boom := func(i int) error { return fmt.Errorf("job %d failed", i) }
 	for _, workers := range []int{1, 4} {
-		_, err := mapIndexed(workers, 10, func(i int) (int, error) {
+		_, err := mapIndexed(workers, nil, 10, func(i int) (int, error) {
 			if i == 3 || i == 7 {
 				return 0, boom(i)
 			}
@@ -39,12 +41,12 @@ func TestMapIndexedLowestIndexError(t *testing.T) {
 }
 
 func TestMapIndexedEmptyAndBounds(t *testing.T) {
-	out, err := mapIndexed(4, 0, func(i int) (int, error) { return 0, errors.New("never") })
+	out, err := mapIndexed(4, nil, 0, func(i int) (int, error) { return 0, errors.New("never") })
 	if err != nil || len(out) != 0 {
 		t.Fatalf("n=0: out=%v err=%v", out, err)
 	}
 	var calls atomic.Int64
-	if _, err := mapIndexed(16, 5, func(i int) (int, error) { calls.Add(1); return i, nil }); err != nil {
+	if _, err := mapIndexed(16, nil, 5, func(i int) (int, error) { calls.Add(1); return i, nil }); err != nil {
 		t.Fatal(err)
 	}
 	if calls.Load() != 5 {
@@ -91,5 +93,47 @@ func TestParallelSweepsMatchSequential(t *testing.T) {
 					seqOut.String(), parOut.String())
 			}
 		})
+	}
+}
+
+// TestPoolTelemetry checks that a configured registry observes the pool's
+// job progress without changing results: counts add up across sequential
+// and parallel runs, per-job wall times are sampled, and errored jobs land
+// in the error counter instead of jobs_done.
+func TestPoolTelemetry(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	cfg := Config{Workers: 4, Telemetry: reg}
+	out, err := mapIndexed(cfg.workers(), cfg.pool(), 9, func(i int) (int, error) { return i, nil })
+	if err != nil || len(out) != 9 {
+		t.Fatalf("mapIndexed: %v (len %d)", err, len(out))
+	}
+	pm := cfg.pool()
+	if got := pm.JobsStarted.Value(); got != 9 {
+		t.Fatalf("jobs started = %v, want 9", got)
+	}
+	if got := pm.JobsDone.Value(); got != 9 {
+		t.Fatalf("jobs done = %v, want 9", got)
+	}
+	if got := pm.InFlight.Value(); got != 0 {
+		t.Fatalf("in-flight after drain = %v, want 0", got)
+	}
+	if got := pm.JobSeconds.Snapshot().Count; got != 9 {
+		t.Fatalf("job wall-time samples = %v, want 9", got)
+	}
+
+	boom := errors.New("boom")
+	if _, err := mapIndexed(cfg.workers(), cfg.pool(), 5, func(i int) (int, error) {
+		if i == 2 {
+			return 0, boom
+		}
+		return i, nil
+	}); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if got := pm.JobErrors.Value(); got != 1 {
+		t.Fatalf("job errors = %v, want 1", got)
+	}
+	if got := pm.JobsDone.Value(); got != 9+4 {
+		t.Fatalf("jobs done after error run = %v, want 13", got)
 	}
 }

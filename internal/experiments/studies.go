@@ -30,7 +30,7 @@ func PredictionErrorStudy(cfg Config) ([]PredictionPoint, sim.Summary, error) {
 	if err != nil {
 		return nil, sim.Summary{}, err
 	}
-	_, coca, err := tuneV(sc, cfg.VGrid, cfg.workers())
+	_, coca, err := tuneV(sc, cfg.VGrid, cfg.workers(), cfg.pool())
 	if err != nil {
 		return nil, sim.Summary{}, err
 	}
@@ -44,7 +44,7 @@ func PredictionErrorStudy(cfg Config) ([]PredictionPoint, sim.Summary, error) {
 	}
 	// Every forecaster carries its own seed (fixed per arm, not drawn from
 	// shared state), so the arms fan out deterministically.
-	out, err := mapIndexed(cfg.workers(), len(forecasters), func(i int) (PredictionPoint, error) {
+	out, err := mapIndexed(cfg.workers(), cfg.pool(), len(forecasters), func(i int) (PredictionPoint, error) {
 		f := forecasters[i]
 		forecast := f.Forecast(sc.Workload)
 		php, err := baseline.NewPerfectHPWithForecast(sc, 48, forecast)
@@ -104,7 +104,7 @@ func DelayValidation(cfg Config, samples int) ([]DelayValidationPoint, float64, 
 	if err != nil {
 		return nil, 0, err
 	}
-	v, _, err := tuneV(sc, cfg.VGrid, cfg.workers())
+	v, _, err := tuneV(sc, cfg.VGrid, cfg.workers(), cfg.pool())
 	if err != nil {
 		return nil, 0, err
 	}

@@ -2,6 +2,7 @@ package gsd
 
 import (
 	"sync"
+	"time"
 
 	"repro/internal/dcmodel"
 	"repro/internal/loadbalance"
@@ -126,7 +127,9 @@ func SolveDistributed(p *dcmodel.SlotProblem, opts Options) (Result, error) {
 		byID[a.id] = a
 	}
 
+	start := time.Now()
 	noImprove := 0
+	patienceExit := false
 	lastBest := e.bestEver.Value
 	for e.iters < opts.MaxIters {
 		delta := e.opts.temperature(e.iters)
@@ -176,9 +179,13 @@ func SolveDistributed(p *dcmodel.SlotProblem, opts Options) (Result, error) {
 		} else {
 			noImprove++
 			if opts.Patience > 0 && noImprove >= opts.Patience {
+				patienceExit = true
 				break
 			}
 		}
+	}
+	if m := opts.Metrics; m != nil {
+		m.FinishSolve(e.iters, e.accept, patienceExit, time.Since(start).Seconds())
 	}
 	return Result{Solution: e.bestEver, History: e.history, Iters: e.iters, Accepted: e.accept}, nil
 }

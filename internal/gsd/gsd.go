@@ -25,10 +25,12 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"time"
 
 	"repro/internal/dcmodel"
 	"repro/internal/loadbalance"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 )
 
 // Options configures a GSD run.
@@ -53,6 +55,11 @@ type Options struct {
 	Failed []bool
 	// RecordHistory enables per-iteration incumbent tracking (Fig. 4).
 	RecordHistory bool
+	// Metrics, when non-nil, records iteration/acceptance totals,
+	// patience exits, warm-start cold fallbacks and per-solve wall time.
+	// The instruments are concurrency-safe, so one SolveMetrics can be
+	// shared across solvers and goroutines.
+	Metrics *telemetry.SolveMetrics
 }
 
 // Result is the outcome of a GSD run.
@@ -229,7 +236,9 @@ func (e *engine) step(solve loadSolver) {
 }
 
 func (e *engine) run(solve loadSolver) Result {
+	start := time.Now()
 	noImprove := 0
+	patienceExit := false
 	lastBest := e.bestEver.Value
 	for e.iters < e.opts.MaxIters {
 		e.step(solve)
@@ -239,9 +248,13 @@ func (e *engine) run(solve loadSolver) Result {
 		} else {
 			noImprove++
 			if e.opts.Patience > 0 && noImprove >= e.opts.Patience {
+				patienceExit = true
 				break
 			}
 		}
+	}
+	if m := e.opts.Metrics; m != nil {
+		m.FinishSolve(e.iters, e.accept, patienceExit, time.Since(start).Seconds())
 	}
 	return Result{
 		Solution: e.bestEver,
@@ -301,11 +314,24 @@ func (s *Solver) next() Options {
 // slots do not replay the same sample path; pass a fresh Solver (or Clone)
 // for reproducibility of a single slot. Each slot warm-starts from the
 // previous slot's decision, falling back to the all-top-speed
-// initialization when the warm start cannot carry the new load.
+// initialization when the warm start cannot carry the new load — or when
+// the cluster's group count changed between slots (a resize or failure)
+// and the warm vector no longer lines up with the groups.
 func (s *Solver) Solve(p *dcmodel.SlotProblem) (dcmodel.Solution, error) {
 	opts := s.next()
+	if len(opts.InitSpeeds) > 0 && len(opts.InitSpeeds) != len(p.Cluster.Groups) {
+		// A stale warm start must degrade, not fail the slot: drop it and
+		// cold-start from all-top-speed, exactly like an infeasible one.
+		opts.InitSpeeds = nil
+		if opts.Metrics != nil {
+			opts.Metrics.ColdFallbacks.Inc()
+		}
+	}
 	res, err := Solve(p, opts)
-	if errors.Is(err, ErrInfeasibleInit) {
+	if errors.Is(err, ErrInfeasibleInit) && opts.InitSpeeds != nil {
+		if opts.Metrics != nil {
+			opts.Metrics.ColdFallbacks.Inc()
+		}
 		cold := opts
 		cold.InitSpeeds = nil
 		res, err = Solve(p, cold)

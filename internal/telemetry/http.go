@@ -1,0 +1,62 @@
+package telemetry
+
+import (
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+)
+
+var publishOnce sync.Once
+
+// PublishExpvar exposes the registry under the "coca" expvar name, so
+// /debug/vars carries the full snapshot next to the runtime's memstats.
+// Only the first registry wins the name (expvar panics on duplicates);
+// one process, one published registry.
+func PublishExpvar(r *Registry) {
+	publishOnce.Do(func() {
+		expvar.Publish("coca", expvar.Func(func() any { return r.Snapshot() }))
+	})
+}
+
+// Handler serves the observability endpoints:
+//
+//	/metrics      — the registry snapshot as JSON
+//	/debug/vars   — expvar (includes the registry via PublishExpvar)
+//	/debug/pprof/ — the standard pprof index, profiles and traces
+func Handler(r *Registry) http.Handler {
+	PublishExpvar(r)
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if err := r.WriteJSON(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Serve binds addr and serves Handler(r) in the background. It returns
+// once the listener is bound (so the caller can log the resolved
+// address) together with the server for shutdown.
+func Serve(addr string, r *Registry) (*http.Server, net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, nil, err
+	}
+	srv := &http.Server{Handler: Handler(r)}
+	go func() {
+		// ErrServerClosed on shutdown; anything else is already visible
+		// through failed scrapes, and a metrics sidecar must never take
+		// the run down with it.
+		_ = srv.Serve(ln)
+	}()
+	return srv, ln.Addr(), nil
+}

@@ -1,0 +1,175 @@
+package telemetry
+
+import (
+	"repro/internal/sim"
+)
+
+// Naming convention: instruments registered by New*Metrics live under a
+// caller-chosen prefix ("run", "gsd", "pool", …) so several runs or
+// solvers can share one registry without colliding, and the flattened
+// names read naturally in expvar / the JSON summary
+// ("run.total_usd", "gsd.iterations", "pool.jobs_done").
+
+// RunMetrics instruments one simulation run (or any stream of settled
+// slots): per-slot cost/grid/deficit series as running sums plus
+// distributions, and the policy's carbon-deficit queue as a gauge.
+type RunMetrics struct {
+	Slots      *Counter // settled slots
+	TotalUSD   *Counter // running total cost
+	ElecUSD    *Counter // running electricity cost
+	DelayUSD   *Counter // running delay cost
+	SwitchUSD  *Counter // running switching cost
+	GridKWh    *Counter // running grid draw
+	EnergyKWh  *Counter // running facility energy
+	DeficitKWh *Counter // running carbon deficit (signed)
+
+	Queue      *Gauge // carbon-deficit queue length q(t), exported by policies
+	LastSlot   *Gauge // most recently settled slot index
+	LastActive *Gauge // most recent active-server count
+	LastSpeed  *Gauge // most recent speed level
+
+	SlotCostUSD *Histogram // distribution of per-slot total cost
+	SlotGridKWh *Histogram // distribution of per-slot grid draw
+}
+
+// NewRunMetrics registers a run's instruments under prefix.
+func NewRunMetrics(r *Registry, prefix string) *RunMetrics {
+	p := prefix + "."
+	return &RunMetrics{
+		Slots:       r.Counter(p + "slots"),
+		TotalUSD:    r.Counter(p + "total_usd"),
+		ElecUSD:     r.Counter(p + "electricity_usd"),
+		DelayUSD:    r.Counter(p + "delay_usd"),
+		SwitchUSD:   r.Counter(p + "switch_usd"),
+		GridKWh:     r.Counter(p + "grid_kwh"),
+		EnergyKWh:   r.Counter(p + "energy_kwh"),
+		DeficitKWh:  r.Counter(p + "deficit_kwh"),
+		Queue:       r.Gauge(p + "queue_kwh"),
+		LastSlot:    r.Gauge(p + "last_slot"),
+		LastActive:  r.Gauge(p + "last_active"),
+		LastSpeed:   r.Gauge(p + "last_speed"),
+		SlotCostUSD: r.Histogram(p+"slot_cost_usd", ExpBuckets(1, 2, 20)),
+		SlotGridKWh: r.Histogram(p+"slot_grid_kwh", ExpBuckets(1, 2, 24)),
+	}
+}
+
+// Observe folds one settled slot into the instruments.
+func (m *RunMetrics) Observe(rec sim.SlotRecord) {
+	m.Slots.Inc()
+	m.TotalUSD.Add(rec.TotalUSD)
+	m.ElecUSD.Add(rec.ElectricityUSD)
+	m.DelayUSD.Add(rec.DelayUSD)
+	m.SwitchUSD.Add(rec.SwitchUSD)
+	m.GridKWh.Add(rec.GridKWh)
+	m.EnergyKWh.Add(rec.EnergyKWh)
+	m.DeficitKWh.Add(rec.DeficitKWh)
+	m.LastSlot.Set(float64(rec.Slot))
+	m.LastActive.Set(float64(rec.Active))
+	m.LastSpeed.Set(float64(rec.Speed))
+	m.SlotCostUSD.Observe(rec.TotalUSD)
+	m.SlotGridKWh.Observe(rec.GridKWh)
+}
+
+// Observer adapts the instruments to the engine's per-slot hook:
+//
+//	e, _ := sim.NewEngine(sc, policy, metrics.Observer())
+func (m *RunMetrics) Observer() sim.Observer {
+	return m.Observe
+}
+
+// SolveMetrics instruments a P3 solver (GSD): solve counts, iteration
+// and acceptance totals, early patience exits, warm-start cold
+// fallbacks, and the per-solve wall-time distribution.
+type SolveMetrics struct {
+	Solves        *Counter
+	Iterations    *Counter
+	Accepted      *Counter
+	PatienceExits *Counter // solves stopped early by the patience criterion
+	ColdFallbacks *Counter // warm starts dropped (stale length or infeasible)
+
+	SolveSeconds *Histogram // wall time per solve
+	ItersPerRun  *Histogram // iterations per solve (convergence effort)
+}
+
+// NewSolveMetrics registers a solver's instruments under prefix.
+func NewSolveMetrics(r *Registry, prefix string) *SolveMetrics {
+	p := prefix + "."
+	return &SolveMetrics{
+		Solves:        r.Counter(p + "solves"),
+		Iterations:    r.Counter(p + "iterations"),
+		Accepted:      r.Counter(p + "accepted_moves"),
+		PatienceExits: r.Counter(p + "patience_exits"),
+		ColdFallbacks: r.Counter(p + "cold_fallbacks"),
+		SolveSeconds:  r.Histogram(p+"solve_seconds", ExpBuckets(1e-5, 4, 12)),
+		ItersPerRun:   r.Histogram(p+"iterations_per_solve", ExpBuckets(8, 2, 12)),
+	}
+}
+
+// FinishSolve folds one completed solve into the instruments.
+func (m *SolveMetrics) FinishSolve(iters, accepted int, patienceExit bool, seconds float64) {
+	m.Solves.Inc()
+	m.Iterations.Add(float64(iters))
+	m.Accepted.Add(float64(accepted))
+	if patienceExit {
+		m.PatienceExits.Inc()
+	}
+	m.SolveSeconds.Observe(seconds)
+	m.ItersPerRun.Observe(float64(iters))
+}
+
+// PoolMetrics instruments the experiment worker pool: job progress,
+// in-flight fan-out and the per-job wall-time distribution.
+type PoolMetrics struct {
+	JobsStarted *Counter
+	JobsDone    *Counter
+	JobErrors   *Counter
+	InFlight    *Gauge
+	Workers     *Gauge
+	JobSeconds  *Histogram
+}
+
+// StartJob marks one job as picked up. It is nil-safe so pools can thread
+// an optional *PoolMetrics without guarding every call site.
+func (m *PoolMetrics) StartJob() {
+	if m == nil {
+		return
+	}
+	m.JobsStarted.Inc()
+	m.InFlight.Add(1)
+}
+
+// EndJob marks one job as finished (successfully or not) after the given
+// wall time. Nil-safe.
+func (m *PoolMetrics) EndJob(failed bool, seconds float64) {
+	if m == nil {
+		return
+	}
+	m.InFlight.Add(-1)
+	if failed {
+		m.JobErrors.Inc()
+	} else {
+		m.JobsDone.Inc()
+	}
+	m.JobSeconds.Observe(seconds)
+}
+
+// SetWorkers records the pool's effective fan-out. Nil-safe.
+func (m *PoolMetrics) SetWorkers(n int) {
+	if m == nil {
+		return
+	}
+	m.Workers.Set(float64(n))
+}
+
+// NewPoolMetrics registers pool instruments under prefix.
+func NewPoolMetrics(r *Registry, prefix string) *PoolMetrics {
+	p := prefix + "."
+	return &PoolMetrics{
+		JobsStarted: r.Counter(p + "jobs_started"),
+		JobsDone:    r.Counter(p + "jobs_done"),
+		JobErrors:   r.Counter(p + "job_errors"),
+		InFlight:    r.Gauge(p + "in_flight"),
+		Workers:     r.Gauge(p + "workers"),
+		JobSeconds:  r.Histogram(p+"job_seconds", ExpBuckets(1e-4, 4, 12)),
+	}
+}

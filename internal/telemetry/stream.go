@@ -1,0 +1,98 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"sync"
+
+	"repro/internal/sim"
+)
+
+// SlotStreamer writes one NDJSON record per settled slot, flushing after
+// every record so a year-long run is live-tailable while it executes
+// (`cocasim -stream run.ndjson` + `tail -f`). It is a sim.Observer
+// factory: attach Observer() to an engine, then Close when the run ends.
+type SlotStreamer struct {
+	mu  sync.Mutex
+	buf *bufio.Writer
+	enc *json.Encoder
+	err error
+}
+
+// streamRecord fixes the NDJSON field layout independently of the
+// SlotRecord struct, so the wire format is stable under internal
+// refactors.
+type streamRecord struct {
+	Slot           int     `json:"slot"`
+	LambdaRPS      float64 `json:"lambda_rps"`
+	PriceUSDPerKWh float64 `json:"price_usd_per_kwh"`
+	OnsiteKW       float64 `json:"onsite_kw"`
+	OffsiteKWh     float64 `json:"offsite_kwh"`
+	Speed          int     `json:"speed"`
+	Active         int     `json:"active"`
+	PowerKW        float64 `json:"power_kw"`
+	EnergyKWh      float64 `json:"energy_kwh"`
+	GridKWh        float64 `json:"grid_kwh"`
+	ElectricityUSD float64 `json:"electricity_usd"`
+	DelayCost      float64 `json:"delay_cost"`
+	DelayUSD       float64 `json:"delay_usd"`
+	SwitchUSD      float64 `json:"switch_usd"`
+	TotalUSD       float64 `json:"total_usd"`
+	DeficitKWh     float64 `json:"deficit_kwh"`
+}
+
+// NewSlotStreamer wraps w in a flushed-per-record NDJSON encoder.
+func NewSlotStreamer(w io.Writer) *SlotStreamer {
+	buf := bufio.NewWriter(w)
+	return &SlotStreamer{buf: buf, enc: json.NewEncoder(buf)}
+}
+
+// Observe writes one slot record. The first write error sticks and
+// silences the rest of the stream (observers cannot fail the run).
+func (s *SlotStreamer) Observe(rec sim.SlotRecord) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return
+	}
+	if err := s.enc.Encode(streamRecord{
+		Slot:           rec.Slot,
+		LambdaRPS:      rec.LambdaRPS,
+		PriceUSDPerKWh: rec.PriceUSDPerKWh,
+		OnsiteKW:       rec.OnsiteKW,
+		OffsiteKWh:     rec.OffsiteKWh,
+		Speed:          rec.Speed,
+		Active:         rec.Active,
+		PowerKW:        rec.PowerKW,
+		EnergyKWh:      rec.EnergyKWh,
+		GridKWh:        rec.GridKWh,
+		ElectricityUSD: rec.ElectricityUSD,
+		DelayCost:      rec.DelayCost,
+		DelayUSD:       rec.DelayUSD,
+		SwitchUSD:      rec.SwitchUSD,
+		TotalUSD:       rec.TotalUSD,
+		DeficitKWh:     rec.DeficitKWh,
+	}); err != nil {
+		s.err = err
+		return
+	}
+	if err := s.buf.Flush(); err != nil {
+		s.err = err
+	}
+}
+
+// Observer returns the per-slot hook to hand to sim.NewEngine.
+func (s *SlotStreamer) Observer() sim.Observer {
+	return s.Observe
+}
+
+// Close flushes the stream and reports the first error the stream hit.
+func (s *SlotStreamer) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.buf.Flush(); err != nil && s.err == nil {
+		s.err = err
+	}
+	return s.err
+}

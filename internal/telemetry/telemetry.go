@@ -1,0 +1,270 @@
+// Package telemetry is the run-time observability layer over the
+// Engine/GSD stack: a small metrics core (counters, gauges, histograms
+// with a fixed bucket layout behind a registry) plus typed instruments
+// for this domain — per-slot cost/grid/deficit/queue series from the sim
+// engine's observer hooks, GSD iteration/acceptance/convergence stats,
+// and experiment-pool progress. Production carbon-aware schedulers are
+// built around exactly this kind of continuously exported power/carbon
+// telemetry (Radovanović et al., "Carbon-Aware Computing for
+// Datacenters"), and every instrument here doubles as the measurement
+// harness later performance work is judged against.
+//
+// The hot path is allocation-free: counters and gauges are single atomic
+// words, histograms take one short mutex-guarded pass over a fixed
+// bucket layout. Instruments are created up front (where allocation and
+// registry locking happen once) and then written to concurrently.
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically written accumulator. Add accepts any float
+// delta — signed series such as the carbon deficit accumulate through a
+// Counter too — so Value reports the running sum, not a strictly
+// increasing quantity.
+type Counter struct {
+	bits atomic.Uint64 // float64 sum
+}
+
+// Add accumulates v. It is lock-free and safe for concurrent use.
+func (c *Counter) Add(v float64) {
+	for {
+		old := c.bits.Load()
+		cur := math.Float64frombits(old)
+		if c.bits.CompareAndSwap(old, math.Float64bits(cur+v)) {
+			return
+		}
+	}
+}
+
+// Inc accumulates 1.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the running sum.
+func (c *Counter) Value() float64 { return math.Float64frombits(c.bits.Load()) }
+
+// Gauge is a last-write-wins instantaneous value.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Value returns the last stored value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Add shifts the gauge by delta — the level-style use (in-flight jobs,
+// queue occupancy) where concurrent writers increment and decrement.
+func (g *Gauge) Add(delta float64) {
+	for {
+		old := g.bits.Load()
+		cur := math.Float64frombits(old)
+		if g.bits.CompareAndSwap(old, math.Float64bits(cur+delta)) {
+			return
+		}
+	}
+}
+
+// Histogram is a fixed-layout distribution: Bounds[i] is the inclusive
+// upper edge of bucket i, with one implicit overflow bucket at the end.
+// The layout is fixed at construction, so Observe never allocates.
+type Histogram struct {
+	bounds []float64
+
+	mu     sync.Mutex
+	counts []uint64
+	count  uint64
+	sum    float64
+	min    float64
+	max    float64
+}
+
+// NewHistogram builds a histogram over the given ascending bucket
+// bounds. An empty bounds slice yields a single overflow bucket (the
+// histogram still tracks count/sum/min/max).
+func NewHistogram(bounds []float64) *Histogram {
+	b := append([]float64(nil), bounds...)
+	sort.Float64s(b)
+	return &Histogram{
+		bounds: b,
+		counts: make([]uint64, len(b)+1),
+		min:    math.Inf(1),
+		max:    math.Inf(-1),
+	}
+}
+
+// ExpBuckets returns n ascending bounds start, start·factor, … — the
+// standard layout for latency- and cost-like long-tailed series.
+func ExpBuckets(start, factor float64, n int) []float64 {
+	if n <= 0 {
+		return nil
+	}
+	out := make([]float64, n)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	// Bucket search outside the lock: bounds are immutable.
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.mu.Lock()
+	h.counts[i]++
+	h.count++
+	h.sum += v
+	if v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+	h.mu.Unlock()
+}
+
+// HistogramSnapshot is a consistent copy of a histogram's state.
+type HistogramSnapshot struct {
+	Bounds []float64 `json:"bounds,omitempty"`
+	Counts []uint64  `json:"counts"`
+	Count  uint64    `json:"count"`
+	Sum    float64   `json:"sum"`
+	Min    float64   `json:"min"`
+	Max    float64   `json:"max"`
+	Mean   float64   `json:"mean"`
+}
+
+// Snapshot copies the histogram state under the lock.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	h.mu.Lock()
+	s := HistogramSnapshot{
+		Bounds: h.bounds,
+		Counts: append([]uint64(nil), h.counts...),
+		Count:  h.count,
+		Sum:    h.sum,
+		Min:    h.min,
+		Max:    h.max,
+	}
+	h.mu.Unlock()
+	if s.Count > 0 {
+		s.Mean = s.Sum / float64(s.Count)
+	} else {
+		s.Min, s.Max = 0, 0
+	}
+	return s
+}
+
+// Registry names and owns instruments. Get-or-create methods are
+// mutex-guarded and intended for setup; the instruments they return are
+// written to without touching the registry again.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		histograms: make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it with the given
+// bounds on first use (later bounds are ignored — the layout is fixed).
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.histograms[name]
+	if !ok {
+		h = NewHistogram(bounds)
+		r.histograms[name] = h
+	}
+	return h
+}
+
+// Snapshot is a point-in-time copy of every registered instrument,
+// marshaled with stable field names so summaries diff cleanly.
+type Snapshot struct {
+	Counters   map[string]float64           `json:"counters"`
+	Gauges     map[string]float64           `json:"gauges"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+}
+
+// Snapshot copies the registry's current state.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for k, v := range r.counters {
+		counters[k] = v
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for k, v := range r.gauges {
+		gauges[k] = v
+	}
+	hists := make(map[string]*Histogram, len(r.histograms))
+	for k, v := range r.histograms {
+		hists[k] = v
+	}
+	r.mu.Unlock()
+
+	s := Snapshot{
+		Counters:   make(map[string]float64, len(counters)),
+		Gauges:     make(map[string]float64, len(gauges)),
+		Histograms: make(map[string]HistogramSnapshot, len(hists)),
+	}
+	for k, v := range counters {
+		s.Counters[k] = v.Value()
+	}
+	for k, v := range gauges {
+		s.Gauges[k] = v.Value()
+	}
+	for k, v := range hists {
+		s.Histograms[k] = v.Snapshot()
+	}
+	return s
+}
+
+// WriteJSON writes the registry snapshot as indented JSON — the final
+// telemetry summary cocasim drops next to its benchmark report.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}

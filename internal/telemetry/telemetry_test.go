@@ -1,0 +1,256 @@
+package telemetry
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestCounterConcurrentAdd(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Add(0.5)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != 4000 {
+		t.Fatalf("Value = %v, want 4000", got)
+	}
+}
+
+func TestGaugeSetAdd(t *testing.T) {
+	var g Gauge
+	g.Set(3)
+	g.Add(-1.5)
+	if got := g.Value(); got != 1.5 {
+		t.Fatalf("Value = %v, want 1.5", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := NewHistogram([]float64{1, 10, 100})
+	for _, v := range []float64{0.5, 1, 5, 10, 99, 1000} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	// Inclusive upper edges: 0.5,1 | 5,10 | 99 | 1000.
+	want := []uint64{2, 2, 1, 1}
+	for i, w := range want {
+		if s.Counts[i] != w {
+			t.Fatalf("bucket %d = %d, want %d (counts %v)", i, s.Counts[i], w, s.Counts)
+		}
+	}
+	if s.Count != 6 || s.Min != 0.5 || s.Max != 1000 {
+		t.Fatalf("count/min/max = %d/%v/%v", s.Count, s.Min, s.Max)
+	}
+	if math.Abs(s.Mean-s.Sum/6) > 1e-12 {
+		t.Fatalf("mean = %v", s.Mean)
+	}
+}
+
+func TestHistogramEmptySnapshot(t *testing.T) {
+	s := NewHistogram(ExpBuckets(1, 2, 4)).Snapshot()
+	if s.Count != 0 || s.Min != 0 || s.Max != 0 || s.Mean != 0 {
+		t.Fatalf("empty snapshot = %+v", s)
+	}
+}
+
+func TestExpBuckets(t *testing.T) {
+	got := ExpBuckets(1, 10, 3)
+	want := []float64{1, 10, 100}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ExpBuckets = %v", got)
+		}
+	}
+	if ExpBuckets(1, 2, 0) != nil {
+		t.Fatal("ExpBuckets(n=0) should be nil")
+	}
+}
+
+func TestRegistryGetOrCreate(t *testing.T) {
+	r := NewRegistry()
+	if r.Counter("a") != r.Counter("a") {
+		t.Fatal("Counter not idempotent")
+	}
+	if r.Gauge("g") != r.Gauge("g") {
+		t.Fatal("Gauge not idempotent")
+	}
+	if r.Histogram("h", []float64{1}) != r.Histogram("h", nil) {
+		t.Fatal("Histogram not idempotent")
+	}
+	r.Counter("a").Add(2)
+	r.Gauge("g").Set(7)
+	r.Histogram("h", nil).Observe(0.5)
+	s := r.Snapshot()
+	if s.Counters["a"] != 2 || s.Gauges["g"] != 7 || s.Histograms["h"].Count != 1 {
+		t.Fatalf("snapshot = %+v", s)
+	}
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var round Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &round); err != nil {
+		t.Fatalf("summary JSON does not round-trip: %v", err)
+	}
+	if round.Counters["a"] != 2 {
+		t.Fatalf("round-tripped counter = %v", round.Counters["a"])
+	}
+}
+
+func TestRunMetricsObserve(t *testing.T) {
+	r := NewRegistry()
+	m := NewRunMetrics(r, "run")
+	obs := m.Observer()
+	obs(sim.SlotRecord{Slot: 0, TotalUSD: 10, GridKWh: 5, DeficitKWh: -1, Active: 3, Speed: 2})
+	obs(sim.SlotRecord{Slot: 1, TotalUSD: 20, GridKWh: 7, DeficitKWh: 4, Active: 4, Speed: 1})
+	if got := m.Slots.Value(); got != 2 {
+		t.Fatalf("slots = %v", got)
+	}
+	if got := m.TotalUSD.Value(); got != 30 {
+		t.Fatalf("total = %v", got)
+	}
+	if got := m.DeficitKWh.Value(); got != 3 {
+		t.Fatalf("deficit sum = %v", got)
+	}
+	if m.LastSlot.Value() != 1 || m.LastActive.Value() != 4 || m.LastSpeed.Value() != 1 {
+		t.Fatal("last-slot gauges not updated")
+	}
+	if m.SlotCostUSD.Snapshot().Count != 2 {
+		t.Fatal("cost histogram missed slots")
+	}
+}
+
+func TestSolveMetricsFinishSolve(t *testing.T) {
+	r := NewRegistry()
+	m := NewSolveMetrics(r, "gsd")
+	m.FinishSolve(100, 40, true, 0.01)
+	m.FinishSolve(50, 10, false, 0.02)
+	if m.Solves.Value() != 2 || m.Iterations.Value() != 150 || m.Accepted.Value() != 50 {
+		t.Fatalf("solve counters = %v/%v/%v", m.Solves.Value(), m.Iterations.Value(), m.Accepted.Value())
+	}
+	if m.PatienceExits.Value() != 1 {
+		t.Fatalf("patience exits = %v", m.PatienceExits.Value())
+	}
+	if m.SolveSeconds.Snapshot().Count != 2 || m.ItersPerRun.Snapshot().Count != 2 {
+		t.Fatal("solve histograms missed runs")
+	}
+}
+
+func TestSlotStreamerNDJSON(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewSlotStreamer(&buf)
+	obs := s.Observer()
+	obs(sim.SlotRecord{Slot: 0, LambdaRPS: 100, TotalUSD: 1.5, GridKWh: 2})
+	obs(sim.SlotRecord{Slot: 1, LambdaRPS: 200, TotalUSD: 2.5, GridKWh: 3})
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("%d NDJSON lines, want 2:\n%s", len(lines), buf.String())
+	}
+	for i, line := range lines {
+		var rec map[string]any
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("line %d is not JSON: %v", i, err)
+		}
+		if int(rec["slot"].(float64)) != i {
+			t.Fatalf("line %d has slot %v", i, rec["slot"])
+		}
+	}
+}
+
+// errWriter fails after n bytes to exercise the sticky-error path.
+type errWriter struct{ n int }
+
+func (w *errWriter) Write(p []byte) (int, error) {
+	if w.n <= 0 {
+		return 0, io.ErrClosedPipe
+	}
+	w.n -= len(p)
+	return len(p), nil
+}
+
+func TestSlotStreamerStickyError(t *testing.T) {
+	s := NewSlotStreamer(&errWriter{n: 1})
+	for i := 0; i < 3; i++ {
+		s.Observe(sim.SlotRecord{Slot: i})
+	}
+	if err := s.Close(); err == nil {
+		t.Fatal("Close should surface the write error")
+	}
+}
+
+// TestSlotStreamerFlushesPerRecord pins live-tailability: each record is
+// visible downstream as soon as Observe returns, not only at Close.
+func TestSlotStreamerFlushesPerRecord(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewSlotStreamer(&buf)
+	s.Observe(sim.SlotRecord{Slot: 7})
+	if buf.Len() == 0 {
+		t.Fatal("record not flushed at Observe time")
+	}
+	sc := bufio.NewScanner(bytes.NewReader(buf.Bytes()))
+	if !sc.Scan() {
+		t.Fatal("no line flushed")
+	}
+	var rec map[string]any
+	if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+		t.Fatal(err)
+	}
+	if int(rec["slot"].(float64)) != 7 {
+		t.Fatalf("slot = %v", rec["slot"])
+	}
+}
+
+func TestHandlerEndpoints(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("run.slots").Add(3)
+	srv := httptest.NewServer(Handler(r))
+	defer srv.Close()
+
+	for _, path := range []string{"/metrics", "/debug/vars", "/debug/pprof/"} {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: status %d", path, resp.StatusCode)
+		}
+		if len(body) == 0 {
+			t.Fatalf("%s: empty body", path)
+		}
+	}
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var snap Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Counters["run.slots"] != 3 {
+		t.Fatalf("/metrics counter = %v", snap.Counters["run.slots"])
+	}
+}
