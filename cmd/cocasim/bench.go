@@ -1,9 +1,13 @@
 package main
 
 import (
+	"encoding/binary"
 	"encoding/json"
 	"fmt"
+	"hash"
+	"hash/fnv"
 	"io"
+	"math"
 	"os"
 	"runtime"
 	"time"
@@ -17,14 +21,19 @@ import (
 
 // benchReport is the machine-readable output of -bench-json: per-slot engine
 // throughput plus the wall-time speedup of the parallel experiment harness.
+// The result hashes fingerprint the *computed numbers* (FNV-64a over the
+// float bits), so a baseline comparison can separate "got slower" from
+// "computes something different": wall times drift with the host, hashes
+// must never change without an intentional arithmetic change.
 type benchReport struct {
 	Cores      int `json:"cores"` // runtime.NumCPU on the benchmark host
 	GOMAXPROCS int `json:"gomaxprocs"`
 	Engine     struct {
-		Policy    string  `json:"policy"`
-		Slots     int     `json:"slots"`
-		Runs      int     `json:"runs"`
-		NsPerSlot float64 `json:"ns_per_slot"`
+		Policy     string  `json:"policy"`
+		Slots      int     `json:"slots"`
+		Runs       int     `json:"runs"`
+		NsPerSlot  float64 `json:"ns_per_slot"`
+		ResultHash string  `json:"result_hash"` // over every slot record of one run
 	} `json:"engine"`
 	Sweep struct {
 		Driver     string  `json:"driver"` // the experiment used as workload
@@ -33,7 +42,44 @@ type benchReport struct {
 		ParMs      float64 `json:"par_ms"`
 		ParWorkers int     `json:"par_workers"`
 		Speedup    float64 `json:"speedup"`
+		ResultHash string  `json:"result_hash"` // over the sweep's result rows
 	} `json:"sweep"`
+}
+
+// fnvHash folds float64s into an FNV-64a stream as their little-endian
+// IEEE-754 bits — platform-independent for identical computed numbers.
+type fnvHash struct{ h hash.Hash64 }
+
+func newFnvHash() *fnvHash { return &fnvHash{h: fnv.New64a()} }
+
+func (f *fnvHash) floats(vs ...float64) {
+	var buf [8]byte
+	for _, v := range vs {
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
+		f.h.Write(buf[:])
+	}
+}
+
+func (f *fnvHash) sum() string { return fmt.Sprintf("fnv1a:%016x", f.h.Sum64()) }
+
+// engineResultHash fingerprints a run: every charged number of every slot.
+func engineResultHash(res *sim.Result) string {
+	h := newFnvHash()
+	for _, r := range res.Records {
+		h.floats(float64(r.Slot), float64(r.Speed), float64(r.Active),
+			r.LambdaRPS, r.TotalUSD, r.ElectricityUSD, r.DelayUSD, r.SwitchUSD,
+			r.GridKWh, r.EnergyKWh, r.DeficitKWh)
+	}
+	return h.sum()
+}
+
+// fig2ResultHash fingerprints the sweep rows the benchmark computed.
+func fig2ResultHash(res experiments.Fig2Result) string {
+	h := newFnvHash()
+	for _, p := range res.Sweep {
+		h.floats(p.V, p.AvgCostUSD, p.AvgDeficitKWh, p.BudgetUsed)
+	}
+	return h.sum()
 }
 
 // runBench measures the step-wise engine and the parallel sweep and writes
@@ -56,17 +102,21 @@ func runBench(path string, workers int, reg *telemetry.Registry) error {
 		return err
 	}
 	const runs = 20
+	var lastRes *sim.Result
 	start := time.Now()
 	for i := 0; i < runs; i++ {
-		if _, err := sim.Run(sc, baseline.NewUnaware(sc)); err != nil {
+		res, err := sim.Run(sc, baseline.NewUnaware(sc))
+		if err != nil {
 			return err
 		}
+		lastRes = res
 	}
 	elapsed := time.Since(start)
 	rep.Engine.Policy = "unaware"
 	rep.Engine.Slots = sc.Slots
 	rep.Engine.Runs = runs
 	rep.Engine.NsPerSlot = float64(elapsed.Nanoseconds()) / float64(runs*sc.Slots)
+	rep.Engine.ResultHash = engineResultHash(lastRes)
 
 	// Sweep speedup: the Fig. 2 V-sweep fans its independent simulations
 	// over the worker pool; time it sequential vs parallel. Identical
@@ -94,6 +144,7 @@ func runBench(path string, workers int, reg *telemetry.Registry) error {
 	if parMs > 0 {
 		rep.Sweep.Speedup = float64(seqMs) / float64(parMs)
 	}
+	rep.Sweep.ResultHash = fig2ResultHash(seqRes)
 
 	buf, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -105,5 +156,62 @@ func runBench(path string, workers int, reg *telemetry.Registry) error {
 	}
 	fmt.Printf("bench: engine %.0f ns/slot; sweep %.0f ms seq / %.0f ms on %d workers (%.2fx, %d cores) -> %s\n",
 		rep.Engine.NsPerSlot, rep.Sweep.SeqMs, rep.Sweep.ParMs, workers, rep.Sweep.Speedup, rep.Cores, path)
+	return nil
+}
+
+// benchWallTolerance is the relative wall-time drift the regression gate
+// tolerates: benchmark hosts are noisy, so only a slowdown beyond 25% of
+// the baseline counts as a regression. Result hashes get no tolerance.
+const benchWallTolerance = 0.25
+
+// compareBench loads the fresh report at path and the baseline at basePath
+// and fails on a hash mismatch (arithmetic changed) or a wall-time
+// regression beyond the tolerance. Faster-than-baseline never fails.
+func compareBench(path, basePath string) error {
+	load := func(p string) (benchReport, error) {
+		var r benchReport
+		buf, err := os.ReadFile(p)
+		if err != nil {
+			return r, err
+		}
+		return r, json.Unmarshal(buf, &r)
+	}
+	fresh, err := load(path)
+	if err != nil {
+		return fmt.Errorf("fresh report: %w", err)
+	}
+	base, err := load(basePath)
+	if err != nil {
+		return fmt.Errorf("baseline report: %w", err)
+	}
+	var problems []string
+	if base.Engine.ResultHash != "" && fresh.Engine.ResultHash != base.Engine.ResultHash {
+		problems = append(problems, fmt.Sprintf(
+			"engine result hash changed: %s -> %s (slot arithmetic differs from baseline)",
+			base.Engine.ResultHash, fresh.Engine.ResultHash))
+	}
+	if base.Sweep.ResultHash != "" && fresh.Sweep.ResultHash != base.Sweep.ResultHash {
+		problems = append(problems, fmt.Sprintf(
+			"sweep result hash changed: %s -> %s (experiment output differs from baseline)",
+			base.Sweep.ResultHash, fresh.Sweep.ResultHash))
+	}
+	slower := func(name string, fresh, base float64) {
+		if base > 0 && fresh > base*(1+benchWallTolerance) {
+			problems = append(problems, fmt.Sprintf(
+				"%s regressed %.0f%%: %.1f vs baseline %.1f (tolerance ±%.0f%%)",
+				name, 100*(fresh/base-1), fresh, base, 100*benchWallTolerance))
+		}
+	}
+	slower("engine ns/slot", fresh.Engine.NsPerSlot, base.Engine.NsPerSlot)
+	slower("sweep seq_ms", fresh.Sweep.SeqMs, base.Sweep.SeqMs)
+	slower("sweep par_ms", fresh.Sweep.ParMs, base.Sweep.ParMs)
+	if len(problems) > 0 {
+		for _, p := range problems {
+			fmt.Fprintf(os.Stderr, "bench regression: %s\n", p)
+		}
+		return fmt.Errorf("bench gate: %d problem(s) vs %s", len(problems), basePath)
+	}
+	fmt.Printf("bench gate: ok vs %s (hashes match, wall times within ±%.0f%%)\n",
+		basePath, 100*benchWallTolerance)
 	return nil
 }

@@ -19,8 +19,10 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"path/filepath"
 	"strings"
@@ -29,6 +31,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/report"
 	"repro/internal/telemetry"
+	"repro/internal/telemetry/span"
 )
 
 func main() {
@@ -46,27 +49,51 @@ func main() {
 		stream      = flag.String("stream", "", "single-run mode: stream one NDJSON record per settled slot to this path (- for stdout)")
 		policy      = flag.String("policy", "coca", "policy for -stream single-run mode: coca|unaware")
 		vParam      = flag.Float64("v", 240, "COCA cost-carbon parameter V for -stream (the paper's neutral point is ~240)")
-		metricsAddr = flag.String("metrics-addr", "", "serve live telemetry on this address (/metrics JSON, /debug/vars expvar, /debug/pprof)")
+		metricsAddr = flag.String("metrics-addr", "", "serve live telemetry on this address (/metrics JSON, /spans, /debug/vars expvar, /debug/pprof)")
 		telemJSON   = flag.String("telemetry-json", "", "write the final telemetry snapshot as JSON to this path")
+
+		traceOut     = flag.String("trace-out", "", "record execution spans and write them as Chrome trace-event JSON to this path (open in ui.perfetto.dev or chrome://tracing)")
+		traceSpans   = flag.String("trace-spans", "", "record execution spans and write them as NDJSON (one span per line) to this path")
+		benchAgainst = flag.String("bench-against", "", "with -bench-json: compare the fresh report against this baseline (hard equality on result hashes, ±25% wall-time tolerance) and exit non-zero on regression")
 	)
 	flag.Parse()
 
 	reg := telemetry.NewRegistry()
+	var tracer *span.Tracer
+	if *traceOut != "" || *traceSpans != "" {
+		tracer = span.NewTracer()
+	}
+	var metricsSrv *http.Server
 	if *metricsAddr != "" {
-		_, addr, err := telemetry.Serve(*metricsAddr, reg)
+		srv, addr, err := telemetry.Serve(*metricsAddr, reg, tracer)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "metrics server failed: %v\n", err)
 			os.Exit(1)
 		}
-		fmt.Fprintf(os.Stderr, "telemetry on http://%s (/metrics, /debug/vars, /debug/pprof)\n", addr)
+		metricsSrv = srv
+		fmt.Fprintf(os.Stderr, "telemetry on http://%s (/metrics, /spans, /debug/vars, /debug/pprof)\n", addr)
 	}
-	finishTelemetry := func() {
-		if *telemJSON == "" {
-			return
+	// finish runs every end-of-run duty: snapshot telemetry, export the
+	// recorded spans, and shut the metrics server down so its listener is
+	// released before the process lingers (tests and library embedders
+	// call the same sequence; os.Exit paths skip it deliberately).
+	finish := func() {
+		if *telemJSON != "" {
+			if err := writeTelemetry(*telemJSON, reg); err != nil {
+				fmt.Fprintf(os.Stderr, "telemetry snapshot failed: %v\n", err)
+				os.Exit(1)
+			}
 		}
-		if err := writeTelemetry(*telemJSON, reg); err != nil {
-			fmt.Fprintf(os.Stderr, "telemetry snapshot failed: %v\n", err)
+		if err := writeTraces(tracer, *traceOut, *traceSpans); err != nil {
+			fmt.Fprintf(os.Stderr, "trace export failed: %v\n", err)
 			os.Exit(1)
+		}
+		if metricsSrv != nil {
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer cancel()
+			if err := metricsSrv.Shutdown(ctx); err != nil {
+				metricsSrv.Close()
+			}
 		}
 	}
 
@@ -79,7 +106,13 @@ func main() {
 			fmt.Fprintf(os.Stderr, "bench failed: %v\n", err)
 			os.Exit(1)
 		}
-		finishTelemetry()
+		finish()
+		if *benchAgainst != "" {
+			if err := compareBench(*bench, *benchAgainst); err != nil {
+				fmt.Fprintf(os.Stderr, "%v\n", err)
+				os.Exit(1)
+			}
+		}
 		return
 	}
 
@@ -92,14 +125,15 @@ func main() {
 		Workers:   *workers,
 		Out:       os.Stdout,
 		Telemetry: reg,
+		Tracer:    tracer,
 	}
 
 	if *stream != "" {
-		if err := runSingle(cfg, *policy, *vParam, *stream, reg); err != nil {
+		if err := runSingle(cfg, *policy, *vParam, *stream, reg, tracer); err != nil {
 			fmt.Fprintf(os.Stderr, "run failed: %v\n", err)
 			os.Exit(1)
 		}
-		finishTelemetry()
+		finish()
 		return
 	}
 
@@ -172,7 +206,7 @@ func main() {
 		}
 		fmt.Printf("[%s completed in %v]\n", name, time.Since(start).Round(time.Millisecond))
 	}
-	finishTelemetry()
+	finish()
 }
 
 // writeFig2CSV exports the Fig. 2 sweep and the varying-V moving averages.

@@ -16,11 +16,13 @@ import (
 	"repro/internal/lyapunov"
 	"repro/internal/sim"
 	"repro/internal/telemetry"
+	"repro/internal/telemetry/span"
 )
 
 // runSingle runs one policy over cfg's scenario, streaming every settled
-// slot to streamPath ("-" for stdout) and folding run metrics into reg.
-func runSingle(cfg experiments.Config, policyName string, v float64, streamPath string, reg *telemetry.Registry) error {
+// slot to streamPath ("-" for stdout), folding run metrics into reg and
+// recording execution spans into tracer (nil: tracing off).
+func runSingle(cfg experiments.Config, policyName string, v float64, streamPath string, reg *telemetry.Registry, tracer *span.Tracer) error {
 	sc, _, err := cfg.Scenario(false)
 	if err != nil {
 		return err
@@ -58,7 +60,7 @@ func runSingle(cfg experiments.Config, policyName string, v float64, streamPath 
 		observers = append(observers, streamer.Observer())
 	}
 
-	res, err := sim.RunObserved(sc, policy, observers...)
+	res, err := sim.RunTraced(sc, policy, tracer, observers...)
 	if err != nil {
 		return err
 	}
@@ -80,4 +82,35 @@ func writeTelemetry(path string, reg *telemetry.Registry) error {
 		return err
 	}
 	return f.Close()
+}
+
+// writeTraces exports the recorded spans: Chrome trace-event JSON to
+// chromePath and/or NDJSON to ndjsonPath (either may be empty). A nil
+// tracer with no paths is a no-op; a path without a tracer cannot happen
+// (main only constructs the tracer from the paths).
+func writeTraces(tracer *span.Tracer, chromePath, ndjsonPath string) error {
+	write := func(path string, export func(io.Writer) error) error {
+		if path == "" {
+			return nil
+		}
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := export(f); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+	if err := write(chromePath, tracer.WriteChromeTrace); err != nil {
+		return err
+	}
+	if err := write(ndjsonPath, tracer.WriteNDJSON); err != nil {
+		return err
+	}
+	if tracer != nil && tracer.Dropped() > 0 {
+		fmt.Fprintf(os.Stderr, "trace: buffer cap reached, %d spans dropped\n", tracer.Dropped())
+	}
+	return nil
 }

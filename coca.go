@@ -21,6 +21,7 @@ import (
 	"repro/internal/sim"
 	"repro/internal/simtest"
 	"repro/internal/telemetry"
+	"repro/internal/telemetry/span"
 	"repro/internal/trace"
 )
 
@@ -352,10 +353,63 @@ func NewPoolMetrics(r *TelemetryRegistry, prefix string) *PoolMetrics {
 // SlotStreamer.Observer to an Engine.
 func NewSlotStreamer(w io.Writer) *SlotStreamer { return telemetry.NewSlotStreamer(w) }
 
-// ServeTelemetry serves the registry over HTTP (/metrics, /debug/vars,
-// /debug/pprof) on addr and returns the bound listener address.
-func ServeTelemetry(addr string, r *TelemetryRegistry) (*http.Server, net.Addr, error) {
-	return telemetry.Serve(addr, r)
+// NewGeoMetrics registers federation instruments under prefix; attach
+// them with GeoSystem.Instrument.
+func NewGeoMetrics(r *TelemetryRegistry, prefix string) *GeoMetrics {
+	return telemetry.NewGeoMetrics(r, prefix)
+}
+
+// NewBatchMetrics registers batch-scheduler instruments under prefix;
+// attach them with BatchScheduler.Instrument.
+func NewBatchMetrics(r *TelemetryRegistry, prefix string) *BatchMetrics {
+	return telemetry.NewBatchMetrics(r, prefix)
+}
+
+// ServeTelemetry serves the registry over HTTP (/metrics, /spans,
+// /debug/vars, /debug/pprof) on addr and returns the bound listener
+// address. tr may be nil when no span tracing is active. Callers own the
+// server: Shutdown (or Close) it when the run ends to release the
+// listener.
+func ServeTelemetry(addr string, r *TelemetryRegistry, tr *Tracer) (*http.Server, net.Addr, error) {
+	return telemetry.Serve(addr, r, tr)
+}
+
+// Span tracing: the execution-span half of the observability layer. Note
+// the naming — Trace is the *time-series* type (λ(t), w(t), r(t)), while
+// Tracer/Span record *execution* spans in the Chrome trace-event sense;
+// see repro/internal/telemetry/span for the full story.
+type (
+	// Tracer records execution spans; nil means tracing disabled and is
+	// safe everywhere a *Tracer is accepted.
+	Tracer = span.Tracer
+	// Span is one timed, named, attributed interval.
+	Span = span.Span
+	// SpanAttr is a typed key/value attribute on a span.
+	SpanAttr = span.Attr
+	// SpanSummary is a tracer buffer overview (also served on /spans).
+	SpanSummary = span.Summary
+	// GeoMetrics instruments a geo federation run per site.
+	GeoMetrics = telemetry.GeoMetrics
+	// BatchMetrics instruments the batch-job scheduler.
+	BatchMetrics = telemetry.BatchMetrics
+)
+
+// NewTracer returns an enabled span tracer; export it with
+// WriteChromeTrace (Perfetto / chrome://tracing) or WriteNDJSON.
+func NewTracer() *Tracer { return span.NewTracer() }
+
+// Span attribute constructors.
+func SpanStr(key, v string) SpanAttr           { return span.Str(key, v) }
+func SpanInt(key string, v int) SpanAttr       { return span.Int(key, v) }
+func SpanFloat(key string, v float64) SpanAttr { return span.Float(key, v) }
+func SpanBool(key string, v bool) SpanAttr     { return span.Bool(key, v) }
+
+// RunTraced is RunObserved with a span tracer attached to the engine:
+// each slot records a sim.slot span with decide/operate/observe children,
+// and tracer-aware layers (a GSDSolver with GSDOptions.Tracer set) nest
+// their solve spans underneath.
+func RunTraced(sc *Scenario, p Policy, tr *Tracer, observers ...Observer) (*RunResult, error) {
+	return sim.RunTraced(sc, p, tr, observers...)
 }
 
 // Queueing validation (paper Eq. 4).

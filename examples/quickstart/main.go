@@ -4,16 +4,25 @@
 // Usage:
 //
 //	go run ./examples/quickstart
+//	go run ./examples/quickstart -trace-out trace.json   # then open in ui.perfetto.dev
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
+	"os"
 
 	coca "repro"
 )
 
 func main() {
+	traceOut := flag.String("trace-out", "", "record execution spans and write Chrome trace-event JSON to this path")
+	flag.Parse()
+	var tracer *coca.Tracer
+	if *traceOut != "" {
+		tracer = coca.NewTracer()
+	}
 	// A 30-day scenario with a 5,000-server fleet, calibrated like the
 	// paper's §5.1: on-site renewables cover ≈ 20% of consumption and the
 	// carbon budget is 92% of what a carbon-unaware operator would draw
@@ -42,7 +51,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		res, err := coca.Run(sc, policy)
+		res, err := coca.RunTraced(sc, policy, tracer)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -75,4 +84,20 @@ func main() {
 		us.AvgHourlyCostUSD, 100*us.BudgetUsedFraction)
 	fmt.Printf("COCA pays %.1f%% over the unconstrained cost to stay neutral\n",
 		100*(s.AvgHourlyCostUSD-us.AvgHourlyCostUSD)/us.AvgHourlyCostUSD)
+
+	// Export the recorded spans as a Perfetto-loadable trace.
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := tracer.WriteChromeTrace(f); err != nil {
+			f.Close()
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nwrote %d spans to %s (open in ui.perfetto.dev)\n", tracer.Len(), *traceOut)
+	}
 }

@@ -21,6 +21,8 @@ import (
 	"repro/internal/dcmodel"
 	"repro/internal/sim"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
+	"repro/internal/telemetry/span"
 )
 
 // Job is one batch request.
@@ -65,10 +67,23 @@ type Scheduler struct {
 	served   float64
 	missed   int
 	finished int
+	tracer   *span.Tracer
+	metrics  *telemetry.BatchMetrics
 }
 
 // NewScheduler returns an empty scheduler starting at slot 0.
 func NewScheduler() *Scheduler { return &Scheduler{} }
+
+// SetTracer attaches a span tracer: every subsequent Step records a
+// batch.step root span with one batch.run child per job that received
+// work and one batch.miss child per expired job. Roots, not ambient
+// children, for the same reason as geo: batch schedulers step inside
+// pooled experiment closures. Nil (the default) disables tracing.
+func (s *Scheduler) SetTracer(tr *span.Tracer) { s.tracer = tr }
+
+// Instrument attaches scheduler metrics, fed by Submit and Step. Nil
+// (the default) disables instrumentation.
+func (s *Scheduler) Instrument(m *telemetry.BatchMetrics) { s.metrics = m }
 
 // ErrLateSubmit is returned when a job is submitted after its arrival slot
 // has already been stepped past.
@@ -84,11 +99,13 @@ func (s *Scheduler) Submit(j Job) error {
 		return ErrLateSubmit
 	}
 	p := &pending{Job: j, remaining: j.SizeServerHours}
-	if j.ArriveSlot == s.slot {
-		heap.Push(&s.queue, p)
-	} else {
+	deferred := j.ArriveSlot != s.slot
+	if deferred {
 		s.future = append(s.future, p)
+	} else {
+		heap.Push(&s.queue, p)
 	}
+	s.metrics.ObserveSubmit(deferred)
 	return nil
 }
 
@@ -107,6 +124,9 @@ type StepResult struct {
 // power, and advances the clock. Negative spare is treated as zero.
 func (s *Scheduler) Step(spareServerHours float64, server dcmodel.ServerType) StepResult {
 	res := StepResult{Slot: s.slot}
+	stepSpan := s.tracer.StartRoot("batch.step",
+		span.Int("slot", s.slot),
+		span.Float("spare_server_hours", math.Max(0, spareServerHours)))
 	// Admit arrivals for this slot.
 	rest := s.future[:0]
 	for _, p := range s.future {
@@ -125,16 +145,29 @@ func (s *Scheduler) Step(spareServerHours float64, server dcmodel.ServerType) St
 			heap.Pop(&s.queue)
 			res.Missed = append(res.Missed, p.ID)
 			s.missed++
+			if stepSpan != nil {
+				stepSpan.Child("batch.miss",
+					span.Int("job", p.ID), span.Int("deadline", p.DeadlineSlot),
+					span.Float("unfinished_hours", p.remaining)).End()
+			}
 			continue
 		}
 		take := math.Min(capacity, p.remaining)
 		p.remaining -= take
 		capacity -= take
 		res.UsedServerHours += take
-		if p.remaining <= 1e-12 {
+		done := p.remaining <= 1e-12
+		if done {
 			heap.Pop(&s.queue)
 			res.Completed = append(res.Completed, p.ID)
 			s.finished++
+		}
+		if stepSpan != nil {
+			stepSpan.Child("batch.run",
+				span.Int("job", p.ID), span.Int("deadline", p.DeadlineSlot),
+				span.Float("served_hours", take),
+				span.Float("remaining_hours", p.remaining),
+				span.Bool("completed", done)).End()
 		}
 	}
 	// Expire anything whose deadline is this slot and still unfinished.
@@ -143,6 +176,11 @@ func (s *Scheduler) Step(spareServerHours float64, server dcmodel.ServerType) St
 		if p.remaining > 1e-12 {
 			res.Missed = append(res.Missed, p.ID)
 			s.missed++
+			if stepSpan != nil {
+				stepSpan.Child("batch.miss",
+					span.Int("job", p.ID), span.Int("deadline", p.DeadlineSlot),
+					span.Float("unfinished_hours", p.remaining)).End()
+			}
 		}
 	}
 	for _, p := range s.queue {
@@ -153,6 +191,17 @@ func (s *Scheduler) Step(spareServerHours float64, server dcmodel.ServerType) St
 	}
 	res.EnergyKWh = res.UsedServerHours * server.ComputingKW(server.NumSpeeds())
 	s.served += res.UsedServerHours
+	s.metrics.ObserveStep(res.UsedServerHours, res.EnergyKWh,
+		len(res.Completed), len(res.Missed), s.queue.Len(), res.Backlog)
+	if stepSpan != nil {
+		stepSpan.Set(
+			span.Float("used_server_hours", res.UsedServerHours),
+			span.Float("energy_kwh", res.EnergyKWh),
+			span.Int("completed", len(res.Completed)),
+			span.Int("missed", len(res.Missed)),
+			span.Float("backlog_hours", res.Backlog))
+		stepSpan.End()
+	}
 	s.slot++
 	return res
 }

@@ -1,0 +1,164 @@
+package batch
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/dcmodel"
+	"repro/internal/telemetry"
+	"repro/internal/telemetry/span"
+)
+
+func readSpans(t *testing.T, tr *span.Tracer) []span.Record {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := tr.WriteNDJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var recs []span.Record
+	sc := bufio.NewScanner(&buf)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	for sc.Scan() {
+		var r span.Record
+		if err := json.Unmarshal(sc.Bytes(), &r); err != nil {
+			t.Fatalf("span line %q: %v", sc.Text(), err)
+		}
+		recs = append(recs, r)
+	}
+	return recs
+}
+
+// runTraceSchedule drives a fixed four-slot EDF schedule with 1 spare
+// server-hour per slot: job 1 completes at its deadline, job 2 is too big
+// and expires, job 3 arrives late (deferred) and completes.
+func runTraceSchedule(t *testing.T, s *Scheduler) []StepResult {
+	t.Helper()
+	srv := dcmodel.Opteron()
+	mustSubmit(t, s, Job{ID: 1, ArriveSlot: 0, SizeServerHours: 2, DeadlineSlot: 1})
+	mustSubmit(t, s, Job{ID: 2, ArriveSlot: 0, SizeServerHours: 10, DeadlineSlot: 2})
+	mustSubmit(t, s, Job{ID: 3, ArriveSlot: 2, SizeServerHours: 1, DeadlineSlot: 5})
+	var results []StepResult
+	for slot := 0; slot < 4; slot++ {
+		results = append(results, s.Step(1, srv))
+	}
+	return results
+}
+
+// TestStepTracedSpans pins the scheduler span topology: one batch.step
+// root per slot with a batch.run child per EDF allocation and a
+// batch.miss child per expired deadline.
+func TestStepTracedSpans(t *testing.T) {
+	s := NewScheduler()
+	tr := span.NewTracer()
+	s.SetTracer(tr)
+	runTraceSchedule(t, s)
+
+	recs := readSpans(t, tr)
+	stepIDs := make(map[uint64]float64) // span id -> slot attr
+	var runs, misses []span.Record
+	for _, r := range recs {
+		switch r.Name {
+		case "batch.step":
+			if r.Parent != 0 {
+				t.Fatalf("batch.step has parent %d, want root", r.Parent)
+			}
+			stepIDs[r.ID] = r.Attrs["slot"].(float64)
+		case "batch.run":
+			runs = append(runs, r)
+		case "batch.miss":
+			misses = append(misses, r)
+		}
+	}
+	if len(stepIDs) != 4 {
+		t.Fatalf("%d batch.step spans, want 4", len(stepIDs))
+	}
+	// Allocations: job 1 in slots 0-1, job 2 in slot 2, job 3 in slot 3.
+	wantRuns := map[float64]float64{0: 1, 1: 1, 2: 2, 3: 3} // slot -> job
+	if len(runs) != len(wantRuns) {
+		t.Fatalf("%d batch.run spans, want %d", len(runs), len(wantRuns))
+	}
+	completed := 0
+	for i, r := range runs {
+		slot, ok := stepIDs[r.Parent]
+		if !ok {
+			t.Fatalf("batch.run %d parented to %d, not a batch.step", i, r.Parent)
+		}
+		if job := r.Attrs["job"]; job != wantRuns[slot] {
+			t.Fatalf("slot %v ran job %v, want %v", slot, job, wantRuns[slot])
+		}
+		if _, ok := r.Attrs["served_hours"]; !ok {
+			t.Fatalf("batch.run %d missing served_hours: %v", i, r.Attrs)
+		}
+		if r.Attrs["completed"] == true {
+			completed++
+		}
+	}
+	if completed != 2 {
+		t.Fatalf("%d batch.run spans flagged completed, want 2 (jobs 1 and 3)", completed)
+	}
+	if len(misses) != 1 {
+		t.Fatalf("%d batch.miss spans, want 1", len(misses))
+	}
+	miss := misses[0]
+	if slot := stepIDs[miss.Parent]; slot != 2 {
+		t.Fatalf("batch.miss in slot %v, want 2 (job 2's deadline)", slot)
+	}
+	if miss.Attrs["job"] != 2.0 {
+		t.Fatalf("batch.miss job = %v, want 2", miss.Attrs["job"])
+	}
+	if unfinished := miss.Attrs["unfinished_hours"].(float64); unfinished <= 0 {
+		t.Fatalf("batch.miss unfinished_hours = %v, want > 0", unfinished)
+	}
+}
+
+// TestStepMetrics pins the BatchMetrics wiring under the batch.* prefix.
+func TestStepMetrics(t *testing.T) {
+	s := NewScheduler()
+	reg := telemetry.NewRegistry()
+	s.Instrument(telemetry.NewBatchMetrics(reg, "batch"))
+	runTraceSchedule(t, s)
+
+	snap := reg.Snapshot()
+	wantCounters := map[string]float64{
+		"batch.submitted":           3,
+		"batch.deferred":            1, // job 3 arrives after its submit slot
+		"batch.completed":           2,
+		"batch.missed":              1,
+		"batch.served_server_hours": 4,
+	}
+	for name, want := range wantCounters {
+		if got := snap.Counters[name]; got != want {
+			t.Fatalf("%s = %v, want %v", name, got, want)
+		}
+	}
+	if got := snap.Counters["batch.energy_kwh"]; got <= 0 {
+		t.Fatalf("batch.energy_kwh = %v, want > 0", got)
+	}
+	if got := snap.Gauges["batch.backlog_server_hours"]; got != 0 {
+		t.Fatalf("backlog gauge = %v after drained schedule, want 0", got)
+	}
+}
+
+// TestStepTracedMatchesUntraced pins that tracing and metrics leave the
+// EDF decisions untouched.
+func TestStepTracedMatchesUntraced(t *testing.T) {
+	plain := NewScheduler()
+	want := runTraceSchedule(t, plain)
+
+	traced := NewScheduler()
+	traced.SetTracer(span.NewTracer())
+	traced.Instrument(telemetry.NewBatchMetrics(telemetry.NewRegistry(), "batch"))
+	got := runTraceSchedule(t, traced)
+
+	for i := range want {
+		if got[i].UsedServerHours != want[i].UsedServerHours ||
+			got[i].EnergyKWh != want[i].EnergyKWh ||
+			got[i].Backlog != want[i].Backlog ||
+			len(got[i].Completed) != len(want[i].Completed) ||
+			len(got[i].Missed) != len(want[i].Missed) {
+			t.Fatalf("slot %d diverged: %+v vs %+v", i, got[i], want[i])
+		}
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"repro/internal/sim"
 	"repro/internal/simtest"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 )
 
 // This file holds the studies beyond the paper's figures: the §2.2 energy-
@@ -326,6 +327,10 @@ func GreenBatch(cfg Config) (GreenBatchResult, error) {
 	// Size the batch stream to roughly a third of the spare capacity.
 	meanSpare := res.SpareServerHours / float64(len(spare))
 	sched := batch.NewScheduler()
+	sched.SetTracer(cfg.Tracer)
+	if cfg.Telemetry != nil {
+		sched.Instrument(telemetry.NewBatchMetrics(cfg.Telemetry, "batch"))
+	}
 	jobs := batch.Workload(cfg.Seed+9, sc.Slots, 1, meanSpare/3, 4, 24)
 	for _, j := range jobs {
 		if err := sched.Submit(j); err != nil {

@@ -17,6 +17,7 @@ import (
 	"repro/internal/sim"
 	"repro/internal/simtest"
 	"repro/internal/telemetry"
+	"repro/internal/telemetry/span"
 	"repro/internal/trace"
 )
 
@@ -46,6 +47,13 @@ type Config struct {
 	// Telemetry, when non-nil, receives experiment-pool progress and
 	// per-job timing under the "pool" prefix. It never affects results.
 	Telemetry *telemetry.Registry
+
+	// Tracer, when non-nil, records execution spans for the experiments
+	// that step traceable subsystems on the calling goroutine (the geo
+	// federation's smart run, the green-batch scheduler, Fig. 4's GSD
+	// scale probe); fanned-out worker runs stay untraced because ambient
+	// parenting assumes one goroutine. It never affects results.
+	Tracer *span.Tracer
 }
 
 // Default returns the paper-scale configuration.

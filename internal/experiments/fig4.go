@@ -65,8 +65,12 @@ func Fig4(cfg Config) (Fig4Result, error) {
 	var res Fig4Result
 	const iters = 500
 	// The objective magnitude sets the useful δ scale (u depends on
-	// δ·Δ(1/g̃)); probe it once with a greedy-ish run.
-	probe, err := gsd.Solve(prob, gsd.Options{Delta: 1e12, MaxIters: 50, Seed: cfg.Seed})
+	// δ·Δ(1/g̃)); probe it once with a greedy-ish run. The probe is the
+	// only solve on this goroutine, so it carries the experiment tracer —
+	// the fanned-out chains below run on pool goroutines where ambient
+	// parenting would interleave, and the §5.2.3 timing run must stay
+	// free of instrumentation overhead.
+	probe, err := gsd.Solve(prob, gsd.Options{Delta: 1e12, MaxIters: 50, Seed: cfg.Seed, Tracer: cfg.Tracer})
 	if err != nil {
 		return res, err
 	}

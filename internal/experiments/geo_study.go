@@ -6,6 +6,7 @@ import (
 	"repro/internal/price"
 	"repro/internal/renewable"
 	"repro/internal/report"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
 
@@ -70,6 +71,15 @@ func GeoStudy(cfg Config) (GeoResult, error) {
 		sys, err := geo.NewSystem(cloneSites(sites), cfg.Beta, slots)
 		if err != nil {
 			return 0, 0, nil, err
+		}
+		if smart {
+			// Only the smart arm is observed: it is the run whose per-site
+			// allocation decisions the spans and counters explain, and the
+			// arms must not share mutable instruments across workers.
+			sys.SetTracer(cfg.Tracer)
+			if cfg.Telemetry != nil {
+				sys.Instrument(telemetry.NewGeoMetrics(cfg.Telemetry, "geo"))
+			}
 		}
 		wl := trace.FIUYear(cfg.Seed).ScaledToPeak(0.5 * sys.TotalCapacityRPS())
 		shares = make([]float64, len(sites))

@@ -22,6 +22,8 @@ import (
 	"repro/internal/lyapunov"
 	"repro/internal/p3"
 	"repro/internal/renewable"
+	"repro/internal/telemetry"
+	"repro/internal/telemetry/span"
 	"repro/internal/trace"
 )
 
@@ -71,9 +73,24 @@ type System struct {
 	Beta  float64
 	Slots int
 
-	queues []*lyapunov.DeficitQueue
-	slot   int
+	queues  []*lyapunov.DeficitQueue
+	slot    int
+	tracer  *span.Tracer
+	metrics *telemetry.GeoMetrics
 }
+
+// SetTracer attaches a span tracer: every subsequent Step records a
+// geo.step root span with one geo.site child per site (allocated load,
+// chunk count, deficit queue, the operated speed/active and costs).
+// Steps start *root* spans — geo systems are often stepped inside pooled
+// experiment workers, and a root never adopts a stranger's open span.
+// Nil (the default) disables tracing.
+func (sys *System) SetTracer(tr *span.Tracer) { sys.tracer = tr }
+
+// Instrument attaches federation metrics: Step feeds the per-site
+// counters and Settle the deficit gauges. Nil (the default) disables
+// instrumentation.
+func (sys *System) Instrument(m *telemetry.GeoMetrics) { sys.metrics = m }
 
 // NewSystem validates and assembles the federation, creating one
 // carbon-deficit queue per site.
@@ -195,7 +212,13 @@ func (sys *System) Step(lambda float64, v float64) (StepOutcome, error) {
 			lambda, sys.TotalCapacityRPS())
 	}
 	k := len(sys.Sites)
+	stepSpan := sys.tracer.StartRoot("geo.step",
+		span.Int("slot", sys.slot), span.Float("lambda_rps", lambda),
+		span.Float("v", v), span.Int("sites", k))
+	defer stepSpan.End()
 	split := make([]float64, k)
+	chunks := make([]int, k) // greedy chunks won, for spans and metrics
+	marginal := make([]float64, k)
 	if lambda > 0 {
 		chunk := lambda / Chunks
 		cur := make([]float64, k) // current site values
@@ -212,18 +235,34 @@ func (sys *System) Step(lambda float64, v float64) (StepOutcome, error) {
 				}
 			}
 			if best < 0 {
+				stepSpan.Set(span.Str("error", "no site can absorb the next chunk"))
 				return StepOutcome{}, errors.New("geo: no site can absorb the next chunk")
 			}
 			split[best] += chunk
 			cur[best] += bestDelta
+			chunks[best]++
+			marginal[best] = bestDelta
 		}
 	}
 	out := StepOutcome{Sites: make([]SiteOutcome, k)}
 	for i := 0; i < k; i++ {
+		var siteSpan *span.Span
+		if stepSpan != nil {
+			siteSpan = stepSpan.Child("geo.site",
+				span.Str("site", sys.Sites[i].Name),
+				span.Float("load_rps", split[i]),
+				span.Int("chunks", chunks[i]),
+				span.Float("marginal_usd", marginal[i]),
+				span.Float("queue_kwh", sys.queues[i].Len()))
+		}
 		so := SiteOutcome{LoadRPS: split[i]}
 		if split[i] > 0 {
 			sol, err := sys.siteProblem(i, v, split[i]).Solve()
 			if err != nil {
+				if siteSpan != nil {
+					siteSpan.Set(span.Str("error", err.Error()))
+					siteSpan.End()
+				}
 				return StepOutcome{}, fmt.Errorf("geo: site %s: %w", sys.Sites[i].Name, err)
 			}
 			so.Speed, so.Active = sol.Speed, sol.Active
@@ -231,9 +270,22 @@ func (sys *System) Step(lambda float64, v float64) (StepOutcome, error) {
 			so.PowerKW, so.GridKWh, so.DelayCost = ch.PowerKW, ch.GridKWh, ch.DelayCost
 			so.CostUSD = ch.TotalUSD
 		}
+		if siteSpan != nil {
+			siteSpan.Set(
+				span.Int("speed", so.Speed), span.Int("active", so.Active),
+				span.Float("cost_usd", so.CostUSD), span.Float("grid_kwh", so.GridKWh))
+			siteSpan.End()
+		}
+		sys.metrics.ObserveSite(sys.Sites[i].Name, so.LoadRPS, chunks[i], so.CostUSD, so.GridKWh)
 		out.Sites[i] = so
 		out.TotalCostUSD += so.CostUSD
 		out.TotalGridKWh += so.GridKWh
+	}
+	sys.metrics.ObserveStep(out.TotalCostUSD, out.TotalGridKWh)
+	if stepSpan != nil {
+		stepSpan.Set(
+			span.Float("total_usd", out.TotalCostUSD),
+			span.Float("total_grid_kwh", out.TotalGridKWh))
 	}
 	return out, nil
 }
@@ -245,6 +297,7 @@ func (sys *System) Settle(out StepOutcome) {
 	t := sys.slot
 	for i := range sys.Sites {
 		sys.queues[i].Update(out.Sites[i].GridKWh, sys.Sites[i].Portfolio.OffsiteKWh.Values[t])
+		sys.metrics.SetDeficit(sys.Sites[i].Name, sys.queues[i].Len())
 	}
 	sys.slot++
 }

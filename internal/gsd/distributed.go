@@ -7,6 +7,7 @@ import (
 	"repro/internal/dcmodel"
 	"repro/internal/loadbalance"
 	"repro/internal/stats"
+	"repro/internal/telemetry/span"
 )
 
 // The distributed GSD engine realizes §4.2's description literally: every
@@ -128,14 +129,39 @@ func SolveDistributed(p *dcmodel.SlotProblem, opts Options) (Result, error) {
 	}
 
 	start := time.Now()
+	var solveSpan *span.Span
+	if opts.Tracer != nil {
+		solveSpan = opts.Tracer.Start("gsd.solve",
+			span.Int("groups", len(p.Cluster.Groups)),
+			span.Float("lambda_rps", p.LambdaRPS),
+			span.Bool("distributed", true))
+	}
 	noImprove := 0
 	patienceExit := false
 	lastBest := e.bestEver.Value
 	for e.iters < opts.MaxIters {
 		delta := e.opts.temperature(e.iters)
+		var sweep *span.Span
+		if opts.Tracer != nil {
+			sweep = opts.Tracer.Start("gsd.sweep",
+				span.Int("iter", e.iters), span.Float("delta", delta))
+		}
 		// Lines 2–5 on the current exploration vector.
 		if p.Feasible(e.speeds) {
-			sol, lbErr := loadbalance.SolveDistributed(p, e.speeds)
+			var split *span.Span
+			if sweep != nil {
+				split = sweep.Child("gsd.loadsplit")
+			}
+			sol, rounds, lbErr := loadbalance.SolveDistributedCounted(p, e.speeds)
+			if sweep != nil {
+				split.Set(span.Int("dual_rounds", rounds))
+				if lbErr != nil {
+					split.Set(span.Str("error", lbErr.Error()))
+				} else {
+					split.Set(span.Float("value", sol.Value))
+				}
+				split.End()
+			}
 			if lbErr == nil {
 				if sol.Value < e.bestEver.Value {
 					e.bestEver = sol.Clone()
@@ -147,6 +173,12 @@ func SolveDistributed(p *dcmodel.SlotProblem, opts Options) (Result, error) {
 					kind: acceptDecide, delta: delta,
 					gBest: e.best.Value, gExpl: sol.Value,
 				})
+				if sweep != nil {
+					sweep.Set(
+						span.Float("u", acceptProb(delta, sol.Value, e.best.Value)),
+						span.Bool("accepted", dec.accept),
+						span.Float("g_explore", sol.Value), span.Float("g_best", e.best.Value))
+				}
 				if dec.accept {
 					e.best = sol.Clone()
 					e.accept++
@@ -157,6 +189,9 @@ func SolveDistributed(p *dcmodel.SlotProblem, opts Options) (Result, error) {
 				copy(e.speeds, e.best.Speeds)
 			}
 		} else {
+			if sweep != nil {
+				sweep.Set(span.Bool("feasible", false))
+			}
 			copy(e.speeds, e.best.Speeds)
 		}
 		// Line 7 via random-timer competition.
@@ -169,6 +204,10 @@ func SolveDistributed(p *dcmodel.SlotProblem, opts Options) (Result, error) {
 		}
 		prop := ask(byID[winner.id], agentMsg{kind: proposeSpeed})
 		e.speeds[winner.id] = prop.speed
+		if sweep != nil {
+			sweep.Set(span.Int("group", winner.id), span.Int("proposed_speed", prop.speed))
+			sweep.End()
+		}
 		e.iters++
 		if opts.RecordHistory {
 			e.history = append(e.history, e.best.Value)
@@ -183,6 +222,13 @@ func SolveDistributed(p *dcmodel.SlotProblem, opts Options) (Result, error) {
 				break
 			}
 		}
+	}
+	if solveSpan != nil {
+		solveSpan.Set(
+			span.Int("iters", e.iters), span.Int("accepted", e.accept),
+			span.Float("best_value", e.bestEver.Value),
+			span.Bool("patience_exit", patienceExit))
+		solveSpan.End()
 	}
 	if m := opts.Metrics; m != nil {
 		m.FinishSolve(e.iters, e.accept, patienceExit, time.Since(start).Seconds())

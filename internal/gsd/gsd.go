@@ -31,6 +31,7 @@ import (
 	"repro/internal/loadbalance"
 	"repro/internal/stats"
 	"repro/internal/telemetry"
+	"repro/internal/telemetry/span"
 )
 
 // Options configures a GSD run.
@@ -60,6 +61,13 @@ type Options struct {
 	// The instruments are concurrency-safe, so one SolveMetrics can be
 	// shared across solvers and goroutines.
 	Metrics *telemetry.SolveMetrics
+	// Tracer, when non-nil, records execution spans: one gsd.solve span
+	// per run with a gsd.sweep child per iteration (acceptance probability
+	// u, proposed group/speed, the gsd.loadsplit evaluation). Spans nest
+	// under whatever span the caller has open on the same tracer — a
+	// sim.decide span when the solver runs inside the engine. Nil (the
+	// default) records nothing and leaves the solve loop untouched.
+	Tracer *span.Tracer
 }
 
 // Result is the outcome of a GSD run.
@@ -203,16 +211,42 @@ func newEngine(p *dcmodel.SlotProblem, opts Options) (*engine, error) {
 type loadSolver func(p *dcmodel.SlotProblem, speeds []int) (dcmodel.Solution, error)
 
 // step runs one GSD iteration (lines 2–7) with the given load solver.
+// The span bookkeeping never touches e.rng, so traced and untraced runs
+// draw the identical random sequence.
 func (e *engine) step(solve loadSolver) {
 	delta := e.opts.temperature(e.iters)
+	var sweep *span.Span
+	if e.opts.Tracer != nil {
+		sweep = e.opts.Tracer.Start("gsd.sweep",
+			span.Int("iter", e.iters), span.Float("delta", delta))
+	}
 	// Lines 2–5: evaluate the exploration if it is feasible.
 	if e.p.Feasible(e.speeds) {
-		if sol, err := solve(e.p, e.speeds); err == nil {
+		var split *span.Span
+		if sweep != nil {
+			split = sweep.Child("gsd.loadsplit")
+		}
+		sol, err := solve(e.p, e.speeds)
+		if sweep != nil {
+			if err != nil {
+				split.Set(span.Str("error", err.Error()))
+			} else {
+				split.Set(span.Float("value", sol.Value))
+			}
+			split.End()
+		}
+		if err == nil {
 			if sol.Value < e.bestEver.Value {
 				e.bestEver = sol.Clone()
 			}
 			u := acceptProb(delta, sol.Value, e.best.Value)
-			if e.rng.Bernoulli(u) {
+			accepted := e.rng.Bernoulli(u)
+			if sweep != nil {
+				sweep.Set(
+					span.Float("u", u), span.Bool("accepted", accepted),
+					span.Float("g_explore", sol.Value), span.Float("g_best", e.best.Value))
+			}
+			if accepted {
 				e.best = sol.Clone()
 				e.accept++
 			} else {
@@ -224,11 +258,18 @@ func (e *engine) step(solve loadSolver) {
 	} else {
 		// Infeasible exploration: acceptance probability is 0 (g̃ᵉ = +Inf);
 		// revert to the incumbent.
+		if sweep != nil {
+			sweep.Set(span.Bool("feasible", false))
+		}
 		copy(e.speeds, e.best.Speeds)
 	}
 	// Line 7: a random live group explores a random speed.
 	g := e.alive[e.rng.IntN(len(e.alive))]
 	e.speeds[g] = e.rng.IntN(e.p.Cluster.Groups[g].Type.NumSpeeds() + 1)
+	if sweep != nil {
+		sweep.Set(span.Int("group", g), span.Int("proposed_speed", e.speeds[g]))
+		sweep.End()
+	}
 	e.iters++
 	if e.opts.RecordHistory {
 		e.history = append(e.history, e.best.Value)
@@ -237,6 +278,12 @@ func (e *engine) step(solve loadSolver) {
 
 func (e *engine) run(solve loadSolver) Result {
 	start := time.Now()
+	var solveSpan *span.Span
+	if e.opts.Tracer != nil {
+		solveSpan = e.opts.Tracer.Start("gsd.solve",
+			span.Int("groups", len(e.p.Cluster.Groups)),
+			span.Float("lambda_rps", e.p.LambdaRPS))
+	}
 	noImprove := 0
 	patienceExit := false
 	lastBest := e.bestEver.Value
@@ -252,6 +299,13 @@ func (e *engine) run(solve loadSolver) Result {
 				break
 			}
 		}
+	}
+	if solveSpan != nil {
+		solveSpan.Set(
+			span.Int("iters", e.iters), span.Int("accepted", e.accept),
+			span.Float("best_value", e.bestEver.Value),
+			span.Bool("patience_exit", patienceExit))
+		solveSpan.End()
 	}
 	if m := e.opts.Metrics; m != nil {
 		m.FinishSolve(e.iters, e.accept, patienceExit, time.Since(start).Seconds())
@@ -319,6 +373,10 @@ func (s *Solver) next() Options {
 // and the warm vector no longer lines up with the groups.
 func (s *Solver) Solve(p *dcmodel.SlotProblem) (dcmodel.Solution, error) {
 	opts := s.next()
+	var solverSpan *span.Span
+	if opts.Tracer != nil {
+		solverSpan = opts.Tracer.Start("gsd.solver")
+	}
 	if len(opts.InitSpeeds) > 0 && len(opts.InitSpeeds) != len(p.Cluster.Groups) {
 		// A stale warm start must degrade, not fail the slot: drop it and
 		// cold-start from all-top-speed, exactly like an infeasible one.
@@ -326,19 +384,25 @@ func (s *Solver) Solve(p *dcmodel.SlotProblem) (dcmodel.Solution, error) {
 		if opts.Metrics != nil {
 			opts.Metrics.ColdFallbacks.Inc()
 		}
+		solverSpan.Set(span.Bool("cold_fallback", true))
 	}
+	solverSpan.Set(span.Bool("warm_start", len(opts.InitSpeeds) > 0))
 	res, err := Solve(p, opts)
 	if errors.Is(err, ErrInfeasibleInit) && opts.InitSpeeds != nil {
 		if opts.Metrics != nil {
 			opts.Metrics.ColdFallbacks.Inc()
 		}
+		solverSpan.Set(span.Bool("cold_fallback", true))
 		cold := opts
 		cold.InitSpeeds = nil
 		res, err = Solve(p, cold)
 	}
 	if err != nil {
+		solverSpan.Set(span.Str("error", err.Error()))
+		solverSpan.End()
 		return dcmodel.Solution{}, err
 	}
+	solverSpan.End()
 	// Warm-start the next slot from this slot's decision.
 	s.mu.Lock()
 	s.warm = append([]int(nil), res.Solution.Speeds...)

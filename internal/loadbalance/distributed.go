@@ -48,6 +48,7 @@ type distCoordinator struct {
 	in      *Instance
 	queries []chan priceQuery
 	wg      sync.WaitGroup
+	rounds  int // broadcast rounds executed (the protocol's message cost)
 }
 
 func newDistCoordinator(in *Instance) *distCoordinator {
@@ -73,6 +74,7 @@ func (d *distCoordinator) stop() {
 
 // round broadcasts one (ω, ν) price and gathers every agent's response.
 func (d *distCoordinator) round(omega, nu float64) []priceResponse {
+	d.rounds++
 	replies := make(chan priceResponse, len(d.queries))
 	for _, ch := range d.queries {
 		ch <- priceQuery{omega: omega, nu: nu, reply: replies}
@@ -157,23 +159,32 @@ func (d *distCoordinator) fill(omega float64) ([]float64, error) {
 // group, coordination only through price broadcasts. The regime analysis on
 // the [·]^+ kink is identical to the centralized path.
 func SolveDistributed(p *dcmodel.SlotProblem, speeds []int) (dcmodel.Solution, error) {
+	sol, _, err := SolveDistributedCounted(p, speeds)
+	return sol, err
+}
+
+// SolveDistributedCounted is SolveDistributed, additionally reporting the
+// number of price broadcast rounds the dual protocol spent (bracket
+// expansion plus bisection, summed over every ω the outer search tried) —
+// the message cost a real deployment would pay per load split.
+func SolveDistributedCounted(p *dcmodel.SlotProblem, speeds []int) (dcmodel.Solution, int, error) {
 	if p.Wd <= 0 {
-		return dcmodel.Solution{}, ErrNeedsDelayWeight
+		return dcmodel.Solution{}, 0, ErrNeedsDelayWeight
 	}
 	in, err := NewInstance(p, speeds)
 	if err != nil {
-		return dcmodel.Solution{}, err
+		return dcmodel.Solution{}, 0, err
 	}
 	d := newDistCoordinator(in)
 	defer d.stop()
 	loads, err := in.solveWith(d.fill)
 	if err != nil {
-		return dcmodel.Solution{}, err
+		return dcmodel.Solution{}, d.rounds, err
 	}
 	full := in.expand(loads)
 	return dcmodel.Solution{
 		Speeds: append([]int(nil), speeds...),
 		Load:   full,
 		Value:  p.Objective(speeds, full),
-	}, nil
+	}, d.rounds, nil
 }

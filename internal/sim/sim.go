@@ -19,6 +19,7 @@ import (
 	"repro/internal/dcmodel"
 	"repro/internal/renewable"
 	"repro/internal/stats"
+	"repro/internal/telemetry/span"
 	"repro/internal/trace"
 )
 
@@ -267,6 +268,7 @@ type Engine struct {
 	policy    Policy
 	res       *Result
 	observers []Observer
+	tracer    *span.Tracer
 
 	zPerSlot   float64
 	prevActive int
@@ -288,6 +290,14 @@ func NewEngine(sc *Scenario, p Policy, observers ...Observer) (*Engine, error) {
 	}, nil
 }
 
+// SetTracer attaches a span tracer: every subsequent Step records a
+// "sim.slot" span with "sim.decide", "sim.operate" and "sim.observe"
+// children. Parenting is ambient, so a policy (or its P3 solver) started
+// on the same tracer nests its own spans under the decide span. A nil
+// tracer (the default) keeps the hot path untouched — tracing never
+// changes a single charged number, only observes them.
+func (e *Engine) SetTracer(tr *span.Tracer) { e.tracer = tr }
+
 // Done reports whether the horizon is exhausted.
 func (e *Engine) Done() bool { return e.t >= e.sc.Slots }
 
@@ -307,17 +317,44 @@ func (e *Engine) Step() error {
 	}
 	t := e.t
 	obs := e.sc.Observe(t)
+	var slotSpan, child *span.Span
+	if e.tracer != nil {
+		slotSpan = e.tracer.Start("sim.slot",
+			span.Int("slot", t),
+			span.Float("lambda_rps", obs.LambdaRPS),
+			span.Float("onsite_kw", obs.OnsiteKW),
+			span.Float("price_usd_per_kwh", obs.PriceUSDPerKWh))
+		child = e.tracer.Start("sim.decide")
+	}
 	cfg, err := e.policy.Decide(obs)
+	if e.tracer != nil {
+		child.Set(span.Int("speed", cfg.Speed), span.Int("active", cfg.Active))
+		e.endSpan(child, err)
+	}
 	if err != nil {
+		e.endSpan(slotSpan, err)
 		return fmt.Errorf("sim: slot %d: %w", t, err)
 	}
+	if e.tracer != nil {
+		child = e.tracer.Start("sim.operate",
+			span.Int("speed", cfg.Speed), span.Int("active", cfg.Active))
+	}
 	rec, err := e.sc.operate(t, cfg, e.prevActive, e.zPerSlot)
+	if e.tracer != nil {
+		child.Set(span.Float("total_usd", rec.TotalUSD), span.Float("grid_kwh", rec.GridKWh))
+		e.endSpan(child, err)
+	}
 	if err != nil {
+		e.endSpan(slotSpan, err)
 		return fmt.Errorf("sim: slot %d: %w", t, err)
 	}
 	e.res.Records = append(e.res.Records, rec)
 	for _, ob := range e.observers {
 		ob(rec)
+	}
+	if e.tracer != nil {
+		child = e.tracer.Start("sim.observe",
+			span.Float("grid_kwh", rec.GridKWh), span.Float("offsite_kwh", rec.OffsiteKWh))
 	}
 	e.policy.Observe(Feedback{
 		Slot:       t,
@@ -325,9 +362,32 @@ func (e *Engine) Step() error {
 		OffsiteKWh: rec.OffsiteKWh,
 		TotalUSD:   rec.TotalUSD,
 	})
+	if e.tracer != nil {
+		child.End()
+		slotSpan.Set(
+			span.Int("speed", rec.Speed),
+			span.Int("active", rec.Active),
+			span.Float("total_usd", rec.TotalUSD),
+			span.Float("grid_kwh", rec.GridKWh),
+			span.Float("deficit_kwh", rec.DeficitKWh))
+		slotSpan.End()
+	}
 	e.prevActive = cfg.Active
 	e.t++
 	return nil
+}
+
+// endSpan closes a step span, tagging it with the error that failed the
+// slot (a failed step leaves the engine at the failed slot; a retry
+// records a fresh slot span).
+func (e *Engine) endSpan(s *span.Span, err error) {
+	if s == nil {
+		return
+	}
+	if err != nil {
+		s.Set(span.Str("error", err.Error()))
+	}
+	s.End()
 }
 
 // Run drives the policy over the scenario's horizon: a thin wrapper that
@@ -338,10 +398,20 @@ func Run(sc *Scenario, p Policy) (*Result, error) {
 
 // RunObserved is Run with per-slot instrumentation hooks.
 func RunObserved(sc *Scenario, p Policy, observers ...Observer) (*Result, error) {
+	return RunTraced(sc, p, nil, observers...)
+}
+
+// RunTraced is RunObserved with a span tracer attached to the engine: the
+// run records a sim.slot span per slot with decide/operate/observe
+// children, and any tracer-aware policy layers (the GSD solver, geo
+// allocation) nest their own spans underneath. A nil tracer makes it
+// exactly RunObserved.
+func RunTraced(sc *Scenario, p Policy, tr *span.Tracer, observers ...Observer) (*Result, error) {
 	e, err := NewEngine(sc, p, observers...)
 	if err != nil {
 		return nil, err
 	}
+	e.SetTracer(tr)
 	for !e.Done() {
 		if err := e.Step(); err != nil {
 			return nil, err

@@ -1,0 +1,205 @@
+package simtest_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/baseline"
+	"repro/internal/dcmodel"
+	"repro/internal/gsd"
+	"repro/internal/sim"
+	"repro/internal/simtest"
+	"repro/internal/telemetry/span"
+)
+
+// This file pins the observability contract of the traced engine: tracing
+// must be invisible to the numbers (bit-for-bit golden parity) while the
+// exported Chrome trace must show the full cross-package nesting chain
+// sim.slot ⊃ sim.decide ⊃ gsd.solve ⊃ gsd.sweep ⊃ gsd.loadsplit that the
+// ambient-parenting design promises.
+
+// TestTracedRunMatchesUntraced runs every policy family twice — bare and
+// with a tracer attached — and requires identical SlotRecords. Tracing
+// observes the slot pipeline; it must never perturb it.
+func TestTracedRunMatchesUntraced(t *testing.T) {
+	sc := paritySc(t)
+	for name, mk := range parityPolicies(t, sc) {
+		t.Run(name, func(t *testing.T) {
+			want, err := sim.Run(sc, mk())
+			if err != nil {
+				t.Fatal(err)
+			}
+			tr := span.NewTracer()
+			got, err := sim.RunTraced(sc, mk(), tr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			compareRuns(t, name, got, want)
+			// Four spans per slot: sim.slot + decide/operate/observe.
+			if wantSpans := 4 * sc.Slots; tr.Len() != wantSpans {
+				t.Fatalf("tracer holds %d spans, want %d", tr.Len(), wantSpans)
+			}
+			if tr.Open() != 0 {
+				t.Fatalf("%d spans left open after the run", tr.Open())
+			}
+		})
+	}
+}
+
+// chromeDoc mirrors the trace-event container for parse-back.
+type chromeDoc struct {
+	TraceEvents []chromeEv `json:"traceEvents"`
+}
+
+type chromeEv struct {
+	Name string         `json:"name"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur"`
+	Tid  uint64         `json:"tid"`
+	Args map[string]any `json:"args"`
+}
+
+// gsdTracedPolicy defers the actual fleet decision to a known-feasible
+// inner policy but runs a GSD solve on a side cluster inside every
+// Decide, sharing the engine's tracer — the way core's P3 stage would.
+type gsdTracedPolicy struct {
+	inner sim.Policy
+	prob  *dcmodel.SlotProblem
+	opts  gsd.Options
+}
+
+func (p *gsdTracedPolicy) Name() string { return "gsd-traced" }
+
+func (p *gsdTracedPolicy) Decide(obs sim.Observation) (sim.Config, error) {
+	opts := p.opts
+	opts.Seed = p.opts.Seed + uint64(obs.Slot)
+	if _, err := gsd.Solve(p.prob, opts); err != nil {
+		return sim.Config{}, err
+	}
+	return p.inner.Decide(obs)
+}
+
+func (p *gsdTracedPolicy) Observe(fb sim.Feedback) { p.inner.Observe(fb) }
+
+// TestChromeTraceNestsEngineAndSolver is the acceptance check for the
+// span pipeline: a traced run whose policy invokes the GSD solver on the
+// same tracer exports a Chrome trace where slot spans nest decide spans,
+// decide spans nest solve spans, and solve spans nest sweep spans — pure
+// ambient parenting, no parent handles threaded through sim.Policy.
+func TestChromeTraceNestsEngineAndSolver(t *testing.T) {
+	sc, _, err := simtest.Build(simtest.Options{Slots: 12, N: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := span.NewTracer()
+	cluster := &dcmodel.Cluster{
+		Groups: []dcmodel.Group{
+			{Type: dcmodel.Opteron(), N: 5},
+			{Type: dcmodel.Opteron(), N: 5},
+		},
+		Gamma: 0.95, PUE: 1,
+	}
+	policy := &gsdTracedPolicy{
+		inner: baseline.NewUnaware(sc),
+		prob: &dcmodel.SlotProblem{
+			Cluster: cluster, LambdaRPS: 60,
+			We: 0.08, Wd: 0.01, OnsiteKW: 0.5,
+		},
+		opts: gsd.Options{Delta: 1e4, MaxIters: 15, Seed: 21, Tracer: tr},
+	}
+	if _, err := sim.RunTraced(sc, policy, tr); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc chromeDoc
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("exported trace is not valid Chrome trace JSON: %v", err)
+	}
+
+	byID := make(map[float64]chromeEv, len(doc.TraceEvents))
+	count := map[string]int{}
+	for _, ev := range doc.TraceEvents {
+		id, ok := ev.Args["span_id"].(float64)
+		if !ok {
+			t.Fatalf("event %q has no span_id arg", ev.Name)
+		}
+		byID[id] = ev
+		count[ev.Name]++
+	}
+	if count["sim.slot"] != sc.Slots {
+		t.Fatalf("%d sim.slot events, want %d", count["sim.slot"], sc.Slots)
+	}
+	if count["gsd.solve"] != sc.Slots {
+		t.Fatalf("%d gsd.solve events, want one per slot (%d)", count["gsd.solve"], sc.Slots)
+	}
+	if count["gsd.sweep"] == 0 || count["gsd.loadsplit"] == 0 {
+		t.Fatalf("missing solver internals: %v", count)
+	}
+
+	// parentOf resolves an event's parent and checks identity, track and
+	// time containment — what Perfetto renders as visual nesting.
+	parentOf := func(ev chromeEv) chromeEv {
+		t.Helper()
+		pid, ok := ev.Args["parent_id"].(float64)
+		if !ok {
+			t.Fatalf("%s span %v has no parent", ev.Name, ev.Args["span_id"])
+		}
+		parent, ok := byID[pid]
+		if !ok {
+			t.Fatalf("%s span %v parented to missing span %v", ev.Name, ev.Args["span_id"], pid)
+		}
+		if parent.Tid != ev.Tid {
+			t.Fatalf("%s and parent %s on different tracks (%d vs %d)", ev.Name, parent.Name, ev.Tid, parent.Tid)
+		}
+		const eps = 1e-9
+		if ev.Ts < parent.Ts-eps || ev.Ts+ev.Dur > parent.Ts+parent.Dur+eps {
+			t.Fatalf("%s [%v,%v] not time-contained in %s [%v,%v]",
+				ev.Name, ev.Ts, ev.Ts+ev.Dur, parent.Name, parent.Ts, parent.Ts+parent.Dur)
+		}
+		return parent
+	}
+	wantParent := map[string]string{
+		"gsd.loadsplit": "gsd.sweep",
+		"gsd.sweep":     "gsd.solve",
+		"gsd.solve":     "sim.decide",
+		"sim.decide":    "sim.slot",
+		"sim.operate":   "sim.slot",
+		"sim.observe":   "sim.slot",
+	}
+	for _, ev := range doc.TraceEvents {
+		want, ok := wantParent[ev.Name]
+		if !ok {
+			if ev.Name != "sim.slot" {
+				t.Fatalf("unexpected span name %q in trace", ev.Name)
+			}
+			if _, hasParent := ev.Args["parent_id"]; hasParent {
+				t.Fatalf("sim.slot should be a root, has parent %v", ev.Args["parent_id"])
+			}
+			continue
+		}
+		if parent := parentOf(ev); parent.Name != want {
+			t.Fatalf("%s parented to %s, want %s", ev.Name, parent.Name, want)
+		}
+	}
+	// Walk one full chain explicitly: loadsplit → sweep → solve → decide
+	// → slot, the acceptance criterion end to end.
+	for _, ev := range doc.TraceEvents {
+		if ev.Name != "gsd.loadsplit" {
+			continue
+		}
+		chain := []string{"gsd.sweep", "gsd.solve", "sim.decide", "sim.slot"}
+		cur := ev
+		for _, wantName := range chain {
+			cur = parentOf(cur)
+			if cur.Name != wantName {
+				t.Fatalf("chain broke: reached %s, want %s", cur.Name, wantName)
+			}
+		}
+		break
+	}
+}

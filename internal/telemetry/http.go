@@ -1,11 +1,14 @@
 package telemetry
 
 import (
+	"encoding/json"
 	"expvar"
 	"net"
 	"net/http"
 	"net/http/pprof"
 	"sync"
+
+	"repro/internal/telemetry/span"
 )
 
 var publishOnce sync.Once
@@ -23,14 +26,30 @@ func PublishExpvar(r *Registry) {
 // Handler serves the observability endpoints:
 //
 //	/metrics      — the registry snapshot as JSON
+//	/spans        — the span tracer's buffer summary as JSON (404 when
+//	                no tracer is attached)
 //	/debug/vars   — expvar (includes the registry via PublishExpvar)
 //	/debug/pprof/ — the standard pprof index, profiles and traces
-func Handler(r *Registry) http.Handler {
+//
+// tr may be nil: a metrics-only process simply has no /spans data.
+func Handler(r *Registry, tr *span.Tracer) http.Handler {
 	PublishExpvar(r)
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		if err := r.WriteJSON(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/spans", func(w http.ResponseWriter, _ *http.Request) {
+		if tr == nil {
+			http.Error(w, "no span tracer attached", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(tr.Summarize()); err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 		}
 	})
@@ -43,15 +62,17 @@ func Handler(r *Registry) http.Handler {
 	return mux
 }
 
-// Serve binds addr and serves Handler(r) in the background. It returns
-// once the listener is bound (so the caller can log the resolved
-// address) together with the server for shutdown.
-func Serve(addr string, r *Registry) (*http.Server, net.Addr, error) {
+// Serve binds addr and serves Handler(r, tr) in the background. It
+// returns once the listener is bound (so the caller can log the resolved
+// address) together with the server; callers own the server's lifetime
+// and should srv.Shutdown (or srv.Close) when the run ends so the
+// listener is released.
+func Serve(addr string, r *Registry, tr *span.Tracer) (*http.Server, net.Addr, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, nil, err
 	}
-	srv := &http.Server{Handler: Handler(r)}
+	srv := &http.Server{Handler: Handler(r, tr)}
 	go func() {
 		// ErrServerClosed on shutdown; anything else is already visible
 		// through failed scrapes, and a metrics sidecar must never take

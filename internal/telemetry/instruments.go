@@ -117,6 +117,155 @@ func (m *SolveMetrics) FinishSolve(iters, accepted int, patienceExit bool, secon
 	m.ItersPerRun.Observe(float64(iters))
 }
 
+// GeoSiteMetrics is one federation site's slice of GeoMetrics.
+type GeoSiteMetrics struct {
+	Solves     *Counter // slots in which the site carried load (one P3 solve each)
+	LoadRPS    *Counter // running allocated load
+	Chunks     *Counter // greedy allocation chunks won
+	CostUSD    *Counter // running site cost (w·grid + β·delay)
+	GridKWh    *Counter // running grid draw
+	DeficitKWh *Gauge   // current carbon-deficit queue length
+}
+
+// GeoMetrics instruments a geo federation run: federation-level step and
+// cost totals plus a per-site breakdown. It deliberately takes plain
+// values, not geo types, so package geo can import telemetry without a
+// cycle. All methods are nil-safe.
+type GeoMetrics struct {
+	Steps    *Counter
+	TotalUSD *Counter
+	GridKWh  *Counter
+
+	registry *Registry
+	prefix   string
+	sites    map[string]*GeoSiteMetrics
+}
+
+// NewGeoMetrics registers federation instruments under prefix
+// (conventionally "geo"); per-site instruments appear lazily as
+// "<prefix>.site.<name>.*" the first time a site is observed.
+func NewGeoMetrics(r *Registry, prefix string) *GeoMetrics {
+	p := prefix + "."
+	return &GeoMetrics{
+		Steps:    r.Counter(p + "steps"),
+		TotalUSD: r.Counter(p + "total_usd"),
+		GridKWh:  r.Counter(p + "grid_kwh"),
+		registry: r,
+		prefix:   prefix,
+		sites:    make(map[string]*GeoSiteMetrics),
+	}
+}
+
+// Site returns (registering on first use) the named site's instruments.
+func (m *GeoMetrics) Site(name string) *GeoSiteMetrics {
+	if m == nil {
+		return nil
+	}
+	if s, ok := m.sites[name]; ok {
+		return s
+	}
+	p := m.prefix + ".site." + name + "."
+	s := &GeoSiteMetrics{
+		Solves:     m.registry.Counter(p + "solves"),
+		LoadRPS:    m.registry.Counter(p + "load_rps"),
+		Chunks:     m.registry.Counter(p + "chunks"),
+		CostUSD:    m.registry.Counter(p + "cost_usd"),
+		GridKWh:    m.registry.Counter(p + "grid_kwh"),
+		DeficitKWh: m.registry.Gauge(p + "deficit_kwh"),
+	}
+	m.sites[name] = s
+	return s
+}
+
+// ObserveStep folds one federation slot's totals into the instruments.
+func (m *GeoMetrics) ObserveStep(totalUSD, totalGridKWh float64) {
+	if m == nil {
+		return
+	}
+	m.Steps.Inc()
+	m.TotalUSD.Add(totalUSD)
+	m.GridKWh.Add(totalGridKWh)
+}
+
+// ObserveSite folds one site's share of a slot into the instruments.
+func (m *GeoMetrics) ObserveSite(name string, loadRPS float64, chunks int, costUSD, gridKWh float64) {
+	if m == nil {
+		return
+	}
+	s := m.Site(name)
+	if loadRPS > 0 {
+		s.Solves.Inc()
+	}
+	s.LoadRPS.Add(loadRPS)
+	s.Chunks.Add(float64(chunks))
+	s.CostUSD.Add(costUSD)
+	s.GridKWh.Add(gridKWh)
+}
+
+// SetDeficit records a site's current carbon-deficit queue length.
+func (m *GeoMetrics) SetDeficit(name string, kwh float64) {
+	if m == nil {
+		return
+	}
+	m.Site(name).DeficitKWh.Set(kwh)
+}
+
+// BatchMetrics instruments the batch-job scheduler: submission and
+// completion counters, deferred (future-slot) submissions, served work,
+// and the live queue depth / backlog gauges. Value-based for the same
+// no-cycle reason as GeoMetrics; all methods are nil-safe.
+type BatchMetrics struct {
+	Submitted   *Counter // jobs accepted by Submit
+	Deferred    *Counter // of those, jobs queued for a future arrival slot
+	Completed   *Counter // jobs finished before their deadline
+	Missed      *Counter // jobs whose deadline expired unfinished
+	ServedHours *Counter // server-hours of batch work executed
+	EnergyKWh   *Counter // computing energy charged to batch work
+
+	QueueDepth   *Gauge // jobs currently eligible (arrived, not finished)
+	BacklogHours *Gauge // remaining work across queue and future arrivals
+}
+
+// NewBatchMetrics registers scheduler instruments under prefix
+// (conventionally "batch").
+func NewBatchMetrics(r *Registry, prefix string) *BatchMetrics {
+	p := prefix + "."
+	return &BatchMetrics{
+		Submitted:    r.Counter(p + "submitted"),
+		Deferred:     r.Counter(p + "deferred"),
+		Completed:    r.Counter(p + "completed"),
+		Missed:       r.Counter(p + "missed"),
+		ServedHours:  r.Counter(p + "served_server_hours"),
+		EnergyKWh:    r.Counter(p + "energy_kwh"),
+		QueueDepth:   r.Gauge(p + "queue_depth"),
+		BacklogHours: r.Gauge(p + "backlog_server_hours"),
+	}
+}
+
+// ObserveSubmit records one accepted submission.
+func (m *BatchMetrics) ObserveSubmit(deferred bool) {
+	if m == nil {
+		return
+	}
+	m.Submitted.Inc()
+	if deferred {
+		m.Deferred.Inc()
+	}
+}
+
+// ObserveStep folds one scheduled slot into the instruments.
+func (m *BatchMetrics) ObserveStep(usedServerHours, energyKWh float64, completed, missed, queueDepth int, backlogHours float64) {
+	if m == nil {
+		return
+	}
+	m.ServedHours.Add(usedServerHours)
+	m.EnergyKWh.Add(energyKWh)
+	m.Completed.Add(float64(completed))
+	m.Missed.Add(float64(missed))
+	m.QueueDepth.Set(float64(queueDepth))
+	m.BacklogHours.Set(backlogHours)
+}
+
 // PoolMetrics instruments the experiment worker pool: job progress,
 // in-flight fan-out and the per-job wall-time distribution.
 type PoolMetrics struct {

@@ -1,0 +1,181 @@
+package span
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"sort"
+	"time"
+)
+
+// micros converts a tracer offset to fractional microseconds, the unit of
+// the Chrome trace-event format (fractions are legal and keep sub-µs
+// spans from collapsing to zero width).
+func micros(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e3 }
+
+// chromeEvent is one complete ("ph":"X") event of the Chrome trace-event
+// format, the JSON Perfetto and chrome://tracing load natively.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur"`
+	Pid  int            `json:"pid"`
+	Tid  uint64         `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromeTrace is the JSON-object container flavor of the format.
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// argsOf flattens a span's attributes plus its identity into the event
+// args, so tools (and our parse-back tests) can rebuild the span tree
+// without relying on timestamp containment.
+func argsOf(s *Span) map[string]any {
+	args := make(map[string]any, len(s.attrs)+2)
+	args["span_id"] = s.id
+	if s.parent != 0 {
+		args["parent_id"] = s.parent
+	}
+	for _, a := range s.attrs {
+		args[a.Key] = a.Value()
+	}
+	return args
+}
+
+// WriteChromeTrace exports the buffered spans as Chrome trace-event JSON:
+// open the file in https://ui.perfetto.dev or chrome://tracing. Root
+// spans map to tracks (tid), so sequential slots stack on one row while
+// concurrent solves fan out. Nil tracers write an empty, valid trace.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	var spans []*Span
+	if t != nil {
+		spans = t.snapshot()
+	}
+	out := chromeTrace{TraceEvents: make([]chromeEvent, 0, len(spans)), DisplayTimeUnit: "ms"}
+	for _, s := range spans {
+		out.TraceEvents = append(out.TraceEvents, chromeEvent{
+			Name: s.name,
+			Ph:   "X",
+			Ts:   micros(s.start),
+			Dur:  micros(s.end - s.start),
+			Pid:  1,
+			Tid:  s.track,
+			Args: argsOf(s),
+		})
+	}
+	// Spans land in the buffer in end order (children first); emit in
+	// start order, parents before children, for readable raw JSON.
+	sort.SliceStable(out.TraceEvents, func(i, j int) bool {
+		if out.TraceEvents[i].Ts != out.TraceEvents[j].Ts {
+			return out.TraceEvents[i].Ts < out.TraceEvents[j].Ts
+		}
+		return out.TraceEvents[i].Args["span_id"].(uint64) < out.TraceEvents[j].Args["span_id"].(uint64)
+	})
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}
+
+// Record is the NDJSON span-log line — the machine-diffable flat export
+// next to the Chrome JSON (one span per line, greppable, live-tailable).
+type Record struct {
+	ID      uint64         `json:"id"`
+	Parent  uint64         `json:"parent,omitempty"`
+	Track   uint64         `json:"track"`
+	Name    string         `json:"name"`
+	StartUS float64        `json:"start_us"`
+	DurUS   float64        `json:"dur_us"`
+	Attrs   map[string]any `json:"attrs,omitempty"`
+}
+
+// WriteNDJSON exports the buffered spans as one JSON record per line, in
+// span start order.
+func (t *Tracer) WriteNDJSON(w io.Writer) error {
+	var spans []*Span
+	if t != nil {
+		spans = t.snapshot()
+	}
+	sort.SliceStable(spans, func(i, j int) bool { return spans[i].id < spans[j].id })
+	buf := bufio.NewWriter(w)
+	enc := json.NewEncoder(buf)
+	for _, s := range spans {
+		var attrs map[string]any
+		if len(s.attrs) > 0 {
+			attrs = make(map[string]any, len(s.attrs))
+			for _, a := range s.attrs {
+				attrs[a.Key] = a.Value()
+			}
+		}
+		if err := enc.Encode(Record{
+			ID:      s.id,
+			Parent:  s.parent,
+			Track:   s.track,
+			Name:    s.name,
+			StartUS: micros(s.start),
+			DurUS:   micros(s.end - s.start),
+			Attrs:   attrs,
+		}); err != nil {
+			return err
+		}
+	}
+	return buf.Flush()
+}
+
+// NameSummary aggregates every buffered span sharing one name.
+type NameSummary struct {
+	Name    string  `json:"name"`
+	Count   int     `json:"count"`
+	TotalUS float64 `json:"total_us"`
+	MinUS   float64 `json:"min_us"`
+	MaxUS   float64 `json:"max_us"`
+}
+
+// Summary is the tracer's buffer overview — what the telemetry HTTP
+// handler serves under /spans while a traced run executes.
+type Summary struct {
+	Spans   int           `json:"spans"`
+	Open    int           `json:"open"`
+	Dropped uint64        `json:"dropped"`
+	ByName  []NameSummary `json:"by_name"`
+}
+
+// Summarize aggregates the buffer per span name (sorted by name). Safe on
+// a nil tracer (returns the zero summary).
+func (t *Tracer) Summarize() Summary {
+	var s Summary
+	if t == nil {
+		return s
+	}
+	spans := t.snapshot()
+	t.mu.Lock()
+	s.Open = len(t.stack)
+	s.Dropped = t.dropped
+	t.mu.Unlock()
+	s.Spans = len(spans)
+	byName := make(map[string]*NameSummary)
+	for _, sp := range spans {
+		d := micros(sp.end - sp.start)
+		ns, ok := byName[sp.name]
+		if !ok {
+			ns = &NameSummary{Name: sp.name, MinUS: d, MaxUS: d}
+			byName[sp.name] = ns
+		}
+		ns.Count++
+		ns.TotalUS += d
+		if d < ns.MinUS {
+			ns.MinUS = d
+		}
+		if d > ns.MaxUS {
+			ns.MaxUS = d
+		}
+	}
+	s.ByName = make([]NameSummary, 0, len(byName))
+	for _, ns := range byName {
+		s.ByName = append(s.ByName, *ns)
+	}
+	sort.Slice(s.ByName, func(i, j int) bool { return s.ByName[i].Name < s.ByName[j].Name })
+	return s
+}

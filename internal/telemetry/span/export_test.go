@@ -1,0 +1,137 @@
+package span
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// chromeDoc mirrors the trace-event container for parse-back.
+type chromeDoc struct {
+	TraceEvents []struct {
+		Name string         `json:"name"`
+		Ph   string         `json:"ph"`
+		Ts   float64        `json:"ts"`
+		Dur  float64        `json:"dur"`
+		Pid  int            `json:"pid"`
+		Tid  uint64         `json:"tid"`
+		Args map[string]any `json:"args"`
+	} `json:"traceEvents"`
+	DisplayTimeUnit string `json:"displayTimeUnit"`
+}
+
+func buildNested(t *testing.T) *Tracer {
+	t.Helper()
+	tr := NewTracer()
+	slot := tr.Start("slot", Int("slot", 0))
+	decide := tr.Start("decide")
+	solve := tr.Start("solve", Float("lambda", 100))
+	solve.End()
+	decide.End()
+	slot.End()
+	return tr
+}
+
+func TestChromeTraceRoundTrip(t *testing.T) {
+	tr := buildNested(t)
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc chromeDoc
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("chrome trace is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) != 3 {
+		t.Fatalf("%d events, want 3", len(doc.TraceEvents))
+	}
+	byName := map[string]int{}
+	for i, ev := range doc.TraceEvents {
+		if ev.Ph != "X" {
+			t.Fatalf("event %d: ph = %q, want X", i, ev.Ph)
+		}
+		if ev.Dur < 0 || ev.Ts < 0 {
+			t.Fatalf("event %d: negative ts/dur", i)
+		}
+		if _, ok := ev.Args["span_id"]; !ok {
+			t.Fatalf("event %d: missing span_id arg", i)
+		}
+		byName[ev.Name] = i
+	}
+	// Parent/child identity via args, and time containment per track.
+	slot, decide, solve := doc.TraceEvents[byName["slot"]], doc.TraceEvents[byName["decide"]], doc.TraceEvents[byName["solve"]]
+	if decide.Args["parent_id"] != slot.Args["span_id"] {
+		t.Fatalf("decide parent %v, want slot %v", decide.Args["parent_id"], slot.Args["span_id"])
+	}
+	if solve.Args["parent_id"] != decide.Args["span_id"] {
+		t.Fatalf("solve parent %v, want decide %v", solve.Args["parent_id"], decide.Args["span_id"])
+	}
+	if solve.Tid != slot.Tid || decide.Tid != slot.Tid {
+		t.Fatal("nested spans scattered over tracks")
+	}
+	if solve.Ts < decide.Ts || solve.Ts+solve.Dur > decide.Ts+decide.Dur+1e-9 {
+		t.Fatal("solve not time-contained in decide")
+	}
+	if decide.Ts < slot.Ts || decide.Ts+decide.Dur > slot.Ts+slot.Dur+1e-9 {
+		t.Fatal("decide not time-contained in slot")
+	}
+	if solve.Args["lambda"] != 100.0 {
+		t.Fatalf("attr lambda = %v", solve.Args["lambda"])
+	}
+}
+
+func TestChromeTraceEmptyAndNil(t *testing.T) {
+	var nilTr *Tracer
+	for name, tr := range map[string]*Tracer{"nil": nilTr, "empty": NewTracer()} {
+		var buf bytes.Buffer
+		if err := tr.WriteChromeTrace(&buf); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		var doc chromeDoc
+		if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+			t.Fatalf("%s: invalid JSON: %v", name, err)
+		}
+		if len(doc.TraceEvents) != 0 {
+			t.Fatalf("%s: %d events", name, len(doc.TraceEvents))
+		}
+		if err := tr.WriteNDJSON(&buf); err != nil {
+			t.Fatalf("%s ndjson: %v", name, err)
+		}
+	}
+}
+
+func TestNDJSONRoundTrip(t *testing.T) {
+	tr := buildNested(t)
+	var buf bytes.Buffer
+	if err := tr.WriteNDJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(&buf)
+	var recs []Record
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var r Record
+		if err := json.Unmarshal([]byte(line), &r); err != nil {
+			t.Fatalf("line %q: %v", line, err)
+		}
+		recs = append(recs, r)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("%d records, want 3", len(recs))
+	}
+	// Start order: slot, decide, solve; parents precede children.
+	if recs[0].Name != "slot" || recs[1].Name != "decide" || recs[2].Name != "solve" {
+		t.Fatalf("order: %s, %s, %s", recs[0].Name, recs[1].Name, recs[2].Name)
+	}
+	if recs[1].Parent != recs[0].ID || recs[2].Parent != recs[1].ID {
+		t.Fatal("NDJSON parent chain broken")
+	}
+	if recs[2].Attrs["lambda"] != 100.0 {
+		t.Fatalf("attrs = %v", recs[2].Attrs)
+	}
+}

@@ -1,0 +1,121 @@
+package telemetry
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"sync"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// lockedBuffer is a concurrency-safe sink: the streamer serializes its
+// own writes, but the test reads the buffer afterwards and the race
+// detector wants the handoff explicit.
+type lockedBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *lockedBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *lockedBuffer) bytes() []byte {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return append([]byte(nil), b.buf.Bytes()...)
+}
+
+// TestSlotStreamerConcurrentObservers hammers one streamer from many
+// goroutines under -race: every record must come out as one intact JSON
+// line — no interleaved or torn writes.
+func TestSlotStreamerConcurrentObservers(t *testing.T) {
+	var sink lockedBuffer
+	s := NewSlotStreamer(&sink)
+	const workers, each = 8, 100
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				s.Observe(sim.SlotRecord{Slot: w*each + i, TotalUSD: float64(i)})
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	seen := make(map[int]bool)
+	sc := bufio.NewScanner(bytes.NewReader(sink.bytes()))
+	for sc.Scan() {
+		var rec struct {
+			Slot int `json:"slot"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			t.Fatalf("torn line %q: %v", sc.Text(), err)
+		}
+		if seen[rec.Slot] {
+			t.Fatalf("slot %d streamed twice", rec.Slot)
+		}
+		seen[rec.Slot] = true
+	}
+	if len(seen) != workers*each {
+		t.Fatalf("%d records, want %d", len(seen), workers*each)
+	}
+}
+
+// failAfterWriter accepts limit bytes, then fails every write.
+type failAfterWriter struct {
+	limit  int
+	wrote  int
+	writes int // writes attempted after the first failure
+	failed bool
+}
+
+var errSinkFull = errors.New("sink full")
+
+func (w *failAfterWriter) Write(p []byte) (int, error) {
+	if w.failed {
+		w.writes++
+		return 0, errSinkFull
+	}
+	if w.wrote+len(p) > w.limit {
+		w.failed = true
+		return 0, errSinkFull
+	}
+	w.wrote += len(p)
+	return len(p), nil
+}
+
+// TestSlotStreamerStickyError pins the failure semantics: the first
+// failed flush sticks, later Observes never reach the writer again, and
+// Close surfaces the original error.
+func TestSlotStreamerStickyError(t *testing.T) {
+	w := &failAfterWriter{limit: 100} // one record is ~250 bytes: first flush fails
+	s := NewSlotStreamer(w)
+	s.Observe(sim.SlotRecord{Slot: 0})
+	if !w.failed {
+		t.Fatal("first record did not hit the writer's failure")
+	}
+	attemptsAtFailure := w.writes
+	for i := 1; i < 10; i++ {
+		s.Observe(sim.SlotRecord{Slot: i})
+	}
+	if w.writes != attemptsAtFailure {
+		t.Fatalf("silenced stream still wrote %d times", w.writes-attemptsAtFailure)
+	}
+	if err := s.Close(); !errors.Is(err, errSinkFull) {
+		t.Fatalf("Close = %v, want the sticky %v", err, errSinkFull)
+	}
+	// Close must keep reporting it, not reset.
+	if err := s.Close(); !errors.Is(err, errSinkFull) {
+		t.Fatalf("second Close = %v", err)
+	}
+}

@@ -3,16 +3,20 @@ package telemetry
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"encoding/json"
 	"io"
 	"math"
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/sim"
+	"repro/internal/telemetry/span"
 )
 
 func TestCounterConcurrentAdd(t *testing.T) {
@@ -177,26 +181,8 @@ func TestSlotStreamerNDJSON(t *testing.T) {
 	}
 }
 
-// errWriter fails after n bytes to exercise the sticky-error path.
-type errWriter struct{ n int }
-
-func (w *errWriter) Write(p []byte) (int, error) {
-	if w.n <= 0 {
-		return 0, io.ErrClosedPipe
-	}
-	w.n -= len(p)
-	return len(p), nil
-}
-
-func TestSlotStreamerStickyError(t *testing.T) {
-	s := NewSlotStreamer(&errWriter{n: 1})
-	for i := 0; i < 3; i++ {
-		s.Observe(sim.SlotRecord{Slot: i})
-	}
-	if err := s.Close(); err == nil {
-		t.Fatal("Close should surface the write error")
-	}
-}
+// The sticky-error semantics (first failed flush silences the stream and
+// surfaces from Close) are pinned in stream_test.go.
 
 // TestSlotStreamerFlushesPerRecord pins live-tailability: each record is
 // visible downstream as soon as Observe returns, not only at Close.
@@ -223,10 +209,12 @@ func TestSlotStreamerFlushesPerRecord(t *testing.T) {
 func TestHandlerEndpoints(t *testing.T) {
 	r := NewRegistry()
 	r.Counter("run.slots").Add(3)
-	srv := httptest.NewServer(Handler(r))
+	tr := span.NewTracer()
+	tr.Start("demo").End()
+	srv := httptest.NewServer(Handler(r, tr))
 	defer srv.Close()
 
-	for _, path := range []string{"/metrics", "/debug/vars", "/debug/pprof/"} {
+	for _, path := range []string{"/metrics", "/spans", "/debug/vars", "/debug/pprof/"} {
 		resp, err := http.Get(srv.URL + path)
 		if err != nil {
 			t.Fatalf("%s: %v", path, err)
@@ -252,5 +240,60 @@ func TestHandlerEndpoints(t *testing.T) {
 	}
 	if snap.Counters["run.slots"] != 3 {
 		t.Fatalf("/metrics counter = %v", snap.Counters["run.slots"])
+	}
+
+	spansResp, err := http.Get(srv.URL + "/spans")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer spansResp.Body.Close()
+	var sum span.Summary
+	if err := json.NewDecoder(spansResp.Body).Decode(&sum); err != nil {
+		t.Fatal(err)
+	}
+	if sum.Spans != 1 || len(sum.ByName) != 1 || sum.ByName[0].Name != "demo" {
+		t.Fatalf("/spans summary = %+v", sum)
+	}
+
+	// Without a tracer, /spans is a clean 404, not a panic or empty 200.
+	noTr := httptest.NewServer(Handler(r, nil))
+	defer noTr.Close()
+	resp404, err := http.Get(noTr.URL + "/spans")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp404.Body.Close()
+	if resp404.StatusCode != http.StatusNotFound {
+		t.Fatalf("/spans without tracer: status %d, want 404", resp404.StatusCode)
+	}
+}
+
+// TestServeShutdownReleasesListener pins the serve/shutdown contract the
+// CLI relies on at run end: after Shutdown returns, the port can be
+// re-bound immediately (the listener is actually closed, not leaked).
+func TestServeShutdownReleasesListener(t *testing.T) {
+	r := NewRegistry()
+	srv, addr, err := Serve("127.0.0.1:0", r, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get("http://" + addr.String() + "/metrics")
+	if err != nil {
+		t.Fatalf("server not serving: %v", err)
+	}
+	resp.Body.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	// The exact port must be free again.
+	ln, err := net.Listen("tcp", addr.String())
+	if err != nil {
+		t.Fatalf("port still held after Shutdown: %v", err)
+	}
+	ln.Close()
+	if _, err := http.Get("http://" + addr.String() + "/metrics"); err == nil {
+		t.Fatal("server still answering after Shutdown")
 	}
 }
