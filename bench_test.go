@@ -158,6 +158,44 @@ func BenchmarkLoadBalanceSolve200Groups(b *testing.B) {
 	}
 }
 
+// BenchmarkLoadSplitProposal measures the GSD inner-loop unit of work on the
+// incremental hot path: one single-group speed delta applied to a persistent
+// load-split instance, an allocation-free re-solve, and the rollback. This
+// is what the engine pays per Gibbs proposal instead of a full
+// NewInstance + Solve rebuild.
+func BenchmarkLoadSplitProposal(b *testing.B) {
+	cluster := dcmodel.PaperCluster(200)
+	speeds := make([]int, 200)
+	for i := range speeds {
+		speeds[i] = 1 + i%4
+	}
+	prob := &dcmodel.SlotProblem{
+		Cluster:   cluster,
+		LambdaRPS: 4e5,
+		We:        0.07, Wd: 0.02, OnsiteKW: 2000,
+	}
+	in, err := loadbalance.NewInstance(prob, speeds)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var sol dcmodel.Solution
+	if err := in.SolveInto(&sol); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g := i % len(speeds)
+		if err := in.SetSpeed(g, 1+(speeds[g]+i)%4); err != nil {
+			b.Fatal(err)
+		}
+		if err := in.SolveInto(&sol); err != nil {
+			b.Fatal(err)
+		}
+		in.Revert()
+	}
+}
+
 func BenchmarkDeficitQueueUpdate(b *testing.B) {
 	q := lyapunov.NewDeficitQueue(1, 100)
 	for i := 0; i < b.N; i++ {

@@ -13,7 +13,9 @@ import (
 	"time"
 
 	"repro/internal/baseline"
+	"repro/internal/dcmodel"
 	"repro/internal/experiments"
+	"repro/internal/gsd"
 	"repro/internal/sim"
 	"repro/internal/simtest"
 	"repro/internal/telemetry"
@@ -44,6 +46,14 @@ type benchReport struct {
 		Speedup    float64 `json:"speedup"`
 		ResultHash string  `json:"result_hash"` // over the sweep's result rows
 	} `json:"sweep"`
+	GSD struct {
+		Groups         int     `json:"groups"`
+		MaxIters       int     `json:"max_iters"`
+		Solves         int     `json:"solves"`
+		NsPerSolve     float64 `json:"ns_per_solve"`
+		AllocsPerSolve float64 `json:"allocs_per_solve"`
+		ResultHash     string  `json:"result_hash"` // over every solve's full solution
+	} `json:"gsd"`
 }
 
 // fnvHash folds float64s into an FNV-64a stream as their little-endian
@@ -146,6 +156,48 @@ func runBench(path string, workers int, reg *telemetry.Registry) error {
 	}
 	rep.Sweep.ResultHash = fig2ResultHash(seqRes)
 
+	// GSD solve rate: the per-slot inner loop on the paper's 200-group
+	// cluster (the BenchmarkGSD500Iters200Groups workload), seeded runs so
+	// the result hash pins the whole chain — any RNG-sequence or float drift
+	// in the incremental hot path shows up here as a hash change, while
+	// ns/allocs per solve track the cost of one full slot decision.
+	cluster := dcmodel.PaperCluster(200)
+	prob := &dcmodel.SlotProblem{
+		Cluster:   cluster,
+		LambdaRPS: 0.3 * cluster.MaxCapacityRPS(),
+		We:        0.05, Wd: 0.02,
+	}
+	const gsdSolves = 10
+	gsdOpts := func(seed uint64) gsd.Options {
+		return gsd.Options{Delta: 1e8, MaxIters: 500, Seed: seed}
+	}
+	if _, err := gsd.Solve(prob, gsdOpts(0)); err != nil { // warm-up
+		return err
+	}
+	gh := newFnvHash()
+	var ms0, ms1 runtime.MemStats
+	runtime.ReadMemStats(&ms0)
+	gsdStart := time.Now()
+	for seed := 0; seed < gsdSolves; seed++ {
+		res, err := gsd.Solve(prob, gsdOpts(uint64(seed)))
+		if err != nil {
+			return err
+		}
+		gh.floats(res.Solution.Value, float64(res.Iters), float64(res.Accepted))
+		for _, s := range res.Solution.Speeds {
+			gh.floats(float64(s))
+		}
+		gh.floats(res.Solution.Load...)
+	}
+	gsdElapsed := time.Since(gsdStart)
+	runtime.ReadMemStats(&ms1)
+	rep.GSD.Groups = len(cluster.Groups)
+	rep.GSD.MaxIters = 500
+	rep.GSD.Solves = gsdSolves
+	rep.GSD.NsPerSolve = float64(gsdElapsed.Nanoseconds()) / gsdSolves
+	rep.GSD.AllocsPerSolve = float64(ms1.Mallocs-ms0.Mallocs) / gsdSolves
+	rep.GSD.ResultHash = gh.sum()
+
 	buf, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		return err
@@ -154,8 +206,9 @@ func runBench(path string, workers int, reg *telemetry.Registry) error {
 	if err := os.WriteFile(path, buf, 0o644); err != nil {
 		return err
 	}
-	fmt.Printf("bench: engine %.0f ns/slot; sweep %.0f ms seq / %.0f ms on %d workers (%.2fx, %d cores) -> %s\n",
-		rep.Engine.NsPerSlot, rep.Sweep.SeqMs, rep.Sweep.ParMs, workers, rep.Sweep.Speedup, rep.Cores, path)
+	fmt.Printf("bench: engine %.0f ns/slot; sweep %.0f ms seq / %.0f ms on %d workers (%.2fx, %d cores); gsd %.1f ms/solve, %.0f allocs/solve -> %s\n",
+		rep.Engine.NsPerSlot, rep.Sweep.SeqMs, rep.Sweep.ParMs, workers, rep.Sweep.Speedup, rep.Cores,
+		rep.GSD.NsPerSolve/1e6, rep.GSD.AllocsPerSolve, path)
 	return nil
 }
 
@@ -195,6 +248,11 @@ func compareBench(path, basePath string) error {
 			"sweep result hash changed: %s -> %s (experiment output differs from baseline)",
 			base.Sweep.ResultHash, fresh.Sweep.ResultHash))
 	}
+	if base.GSD.ResultHash != "" && fresh.GSD.ResultHash != base.GSD.ResultHash {
+		problems = append(problems, fmt.Sprintf(
+			"gsd result hash changed: %s -> %s (solver RNG sequence or arithmetic differs from baseline)",
+			base.GSD.ResultHash, fresh.GSD.ResultHash))
+	}
 	slower := func(name string, fresh, base float64) {
 		if base > 0 && fresh > base*(1+benchWallTolerance) {
 			problems = append(problems, fmt.Sprintf(
@@ -205,6 +263,8 @@ func compareBench(path, basePath string) error {
 	slower("engine ns/slot", fresh.Engine.NsPerSlot, base.Engine.NsPerSlot)
 	slower("sweep seq_ms", fresh.Sweep.SeqMs, base.Sweep.SeqMs)
 	slower("sweep par_ms", fresh.Sweep.ParMs, base.Sweep.ParMs)
+	slower("gsd ns/solve", fresh.GSD.NsPerSolve, base.GSD.NsPerSolve)
+	slower("gsd allocs/solve", fresh.GSD.AllocsPerSolve, base.GSD.AllocsPerSolve)
 	if len(problems) > 0 {
 		for _, p := range problems {
 			fmt.Fprintf(os.Stderr, "bench regression: %s\n", p)

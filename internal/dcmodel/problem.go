@@ -154,3 +154,16 @@ func (s Solution) Clone() Solution {
 	out.Load = append([]float64(nil), s.Load...)
 	return out
 }
+
+// CopyFrom overwrites s with a deep copy of src, reusing s's backing arrays
+// when they have capacity — the allocation-free counterpart of Clone for hot
+// loops that shuttle solutions between preallocated buffers. Copying a
+// solution onto itself is a no-op.
+func (s *Solution) CopyFrom(src *Solution) {
+	if s == src {
+		return
+	}
+	s.Speeds = append(s.Speeds[:0], src.Speeds...)
+	s.Load = append(s.Load[:0], src.Load...)
+	s.Value = src.Value
+}

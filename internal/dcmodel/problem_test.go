@@ -129,3 +129,38 @@ func TestObjectiveInfeasibleLoadIsInf(t *testing.T) {
 		t.Errorf("load on off group: objective = %v, want +Inf", v)
 	}
 }
+
+func TestSolutionCopyFrom(t *testing.T) {
+	src := Solution{Speeds: []int{1, 2, 3}, Load: []float64{10, 20, 30}, Value: 7}
+	var dst Solution
+	dst.CopyFrom(&src)
+	if dst.Value != 7 || len(dst.Speeds) != 3 || len(dst.Load) != 3 {
+		t.Fatalf("CopyFrom produced %+v", dst)
+	}
+	dst.Speeds[0] = 99
+	dst.Load[0] = 99
+	if src.Speeds[0] != 1 || src.Load[0] != 10 {
+		t.Error("CopyFrom aliases the source")
+	}
+
+	// Buffers with capacity are reused, including when the source is shorter.
+	reuse := Solution{Speeds: make([]int, 5), Load: make([]float64, 5)}
+	speedsBacking := &reuse.Speeds[0]
+	reuse.CopyFrom(&src)
+	if len(reuse.Speeds) != 3 || len(reuse.Load) != 3 {
+		t.Fatalf("CopyFrom wrong shape: %d speeds, %d loads", len(reuse.Speeds), len(reuse.Load))
+	}
+	if &reuse.Speeds[0] != speedsBacking {
+		t.Error("CopyFrom reallocated a buffer with sufficient capacity")
+	}
+	allocs := testing.AllocsPerRun(100, func() { reuse.CopyFrom(&src) })
+	if allocs != 0 {
+		t.Errorf("CopyFrom allocated %v objects per run, want 0", allocs)
+	}
+
+	// Self-copy is a no-op.
+	src.CopyFrom(&src)
+	if src.Value != 7 || src.Speeds[0] != 1 || src.Load[0] != 10 {
+		t.Errorf("self CopyFrom corrupted the solution: %+v", src)
+	}
+}

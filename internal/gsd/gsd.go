@@ -146,6 +146,60 @@ func safeInv(g float64) float64 {
 	return 1 / g
 }
 
+// proposalCache memoizes evaluated Gibbs proposals relative to the current
+// incumbent. Every exploration is "incumbent with group g moved to speed k",
+// so a (g, k) pair fully identifies it until the incumbent changes; repeated
+// explorations of a coordinate (common late in a run, when most proposals
+// are rejected) are then free. The solver is deterministic and draws no
+// randomness, so replaying a memoized result leaves the RNG sequence — and
+// therefore the whole chain — bit-for-bit identical to a fresh solve.
+type proposalCache struct {
+	stride  int // max speeds-per-group + 1
+	epoch   uint64
+	entries []cacheEntry
+}
+
+type cacheEntry struct {
+	epoch  uint64 // valid iff equal to the cache's current epoch
+	failed bool   // the solve returned ErrInfeasible
+	value  float64
+	load   []float64 // full cluster-indexed loads (reused across epochs)
+}
+
+func newProposalCache(c *dcmodel.Cluster) proposalCache {
+	stride := 1
+	for g := range c.Groups {
+		if n := c.Groups[g].Type.NumSpeeds() + 1; n > stride {
+			stride = n
+		}
+	}
+	return proposalCache{
+		stride:  stride,
+		epoch:   1,
+		entries: make([]cacheEntry, len(c.Groups)*stride),
+	}
+}
+
+// lookup returns the entry for proposal (g, k) if it was evaluated against
+// the current incumbent, nil otherwise.
+func (c *proposalCache) lookup(g, k int) *cacheEntry {
+	e := &c.entries[g*c.stride+k]
+	if e.epoch != c.epoch {
+		return nil
+	}
+	return e
+}
+
+func (c *proposalCache) store(g, k int, failed bool, value float64, load []float64) {
+	e := &c.entries[g*c.stride+k]
+	e.epoch, e.failed, e.value = c.epoch, failed, value
+	e.load = append(e.load[:0], load...)
+}
+
+// invalidate drops every entry (the incumbent changed) in O(1) by bumping
+// the epoch; entry buffers stay allocated for reuse.
+func (c *proposalCache) invalidate() { c.epoch++ }
+
 // engine holds shared run state for both GSD implementations.
 type engine struct {
 	p        *dcmodel.SlotProblem
@@ -158,6 +212,16 @@ type engine struct {
 	history  []float64
 	iters    int
 	accept   int
+
+	// Sequential hot-path state (the distributed engine drives its own loop
+	// and leaves these untouched): one persistent load-split instance that
+	// receives a SetSpeed delta per proposal instead of a full rebuild, a
+	// reusable evaluation buffer, the proposal memo, and the group of the
+	// pending proposal (-1 before the first draw).
+	inst  *loadbalance.Instance
+	eval  dcmodel.Solution
+	cache proposalCache
+	propG int
 }
 
 func newEngine(p *dcmodel.SlotProblem, opts Options) (*engine, error) {
@@ -197,23 +261,70 @@ func newEngine(p *dcmodel.SlotProblem, opts Options) (*engine, error) {
 	if !p.Feasible(e.speeds) {
 		return nil, ErrInfeasibleInit
 	}
-	sol, err := loadbalance.Solve(p, e.speeds)
+	inst, err := loadbalance.NewInstance(p, e.speeds)
 	if err != nil {
 		return nil, fmt.Errorf("gsd: initial load distribution: %w", err)
 	}
-	e.best = sol.Clone()
-	e.bestEver = sol.Clone()
+	if err := inst.SolveInto(&e.best); err != nil {
+		return nil, fmt.Errorf("gsd: initial load distribution: %w", err)
+	}
+	e.bestEver.CopyFrom(&e.best)
+	e.inst = inst
+	e.cache = newProposalCache(p.Cluster)
+	e.propG = -1
 	return e, nil
 }
 
-// evaluate computes g̃ for the current exploration vector using the supplied
-// load solver (centralized or distributed).
-type loadSolver func(p *dcmodel.SlotProblem, speeds []int) (dcmodel.Solution, error)
+// evalExploration computes g̃ for the current exploration vector. The
+// returned pointer aliases engine-owned state (the incumbent when the
+// exploration equals it, the shared eval buffer otherwise) and is only valid
+// until the next call. The load-split solver is pure and deterministic, so
+// both shortcuts — returning the incumbent directly and replaying the
+// proposal memo — reproduce a fresh solve bit-for-bit without touching the
+// RNG.
+func (e *engine) evalExploration() (*dcmodel.Solution, error) {
+	g := e.propG
+	if g < 0 || e.speeds[g] == e.best.Speeds[g] {
+		// The proposal re-drew the incumbent's own speed: the exploration IS
+		// the incumbent configuration.
+		return &e.best, nil
+	}
+	k := e.speeds[g]
+	if ent := e.cache.lookup(g, k); ent != nil {
+		if ent.failed {
+			return nil, loadbalance.ErrInfeasible
+		}
+		e.eval.Speeds = append(e.eval.Speeds[:0], e.speeds...)
+		e.eval.Load = append(e.eval.Load[:0], ent.load...)
+		e.eval.Value = ent.value
+		return &e.eval, nil
+	}
+	if err := e.inst.SolveInto(&e.eval); err != nil {
+		// Every load-split failure surfaces as ErrInfeasible, so a boolean
+		// memo reproduces the error (and its span string) exactly.
+		e.cache.store(g, k, true, 0, nil)
+		return nil, err
+	}
+	e.cache.store(g, k, false, e.eval.Value, e.eval.Load)
+	return &e.eval, nil
+}
 
-// step runs one GSD iteration (lines 2–7) with the given load solver.
-// The span bookkeeping never touches e.rng, so traced and untraced runs
-// draw the identical random sequence.
-func (e *engine) step(solve loadSolver) {
+// revertProposal rolls the exploration vector and the persistent instance
+// back to the incumbent. The exploration differs from the incumbent in at
+// most the pending proposal's coordinate, so the rollback is O(1) plus the
+// instance's snapshot restore.
+func (e *engine) revertProposal() {
+	if e.propG < 0 {
+		return
+	}
+	e.speeds[e.propG] = e.best.Speeds[e.propG]
+	e.inst.Revert()
+}
+
+// step runs one GSD iteration (lines 2–7) against the persistent load-split
+// instance. The span bookkeeping never touches e.rng, so traced and
+// untraced runs draw the identical random sequence.
+func (e *engine) step() {
 	delta := e.opts.temperature(e.iters)
 	var sweep *span.Span
 	if e.opts.Tracer != nil {
@@ -221,12 +332,12 @@ func (e *engine) step(solve loadSolver) {
 			span.Int("iter", e.iters), span.Float("delta", delta))
 	}
 	// Lines 2–5: evaluate the exploration if it is feasible.
-	if e.p.Feasible(e.speeds) {
+	if e.inst.Feasible() {
 		var split *span.Span
 		if sweep != nil {
 			split = sweep.Child("gsd.loadsplit")
 		}
-		sol, err := solve(e.p, e.speeds)
+		sol, err := e.evalExploration()
 		if sweep != nil {
 			if err != nil {
 				split.Set(span.Str("error", err.Error()))
@@ -237,7 +348,7 @@ func (e *engine) step(solve loadSolver) {
 		}
 		if err == nil {
 			if sol.Value < e.bestEver.Value {
-				e.bestEver = sol.Clone()
+				e.bestEver.CopyFrom(sol)
 			}
 			u := acceptProb(delta, sol.Value, e.best.Value)
 			accepted := e.rng.Bernoulli(u)
@@ -247,13 +358,19 @@ func (e *engine) step(solve loadSolver) {
 					span.Float("g_explore", sol.Value), span.Float("g_best", e.best.Value))
 			}
 			if accepted {
-				e.best = sol.Clone()
+				if sol != &e.best {
+					// The incumbent's speeds changed: previously memoized
+					// proposals no longer describe moves from it.
+					e.best.CopyFrom(sol)
+					e.cache.invalidate()
+				}
+				e.inst.Commit()
 				e.accept++
 			} else {
-				copy(e.speeds, e.best.Speeds)
+				e.revertProposal()
 			}
 		} else {
-			copy(e.speeds, e.best.Speeds)
+			e.revertProposal()
 		}
 	} else {
 		// Infeasible exploration: acceptance probability is 0 (g̃ᵉ = +Inf);
@@ -261,13 +378,18 @@ func (e *engine) step(solve loadSolver) {
 		if sweep != nil {
 			sweep.Set(span.Bool("feasible", false))
 		}
-		copy(e.speeds, e.best.Speeds)
+		e.revertProposal()
 	}
 	// Line 7: a random live group explores a random speed.
 	g := e.alive[e.rng.IntN(len(e.alive))]
-	e.speeds[g] = e.rng.IntN(e.p.Cluster.Groups[g].Type.NumSpeeds() + 1)
+	k := e.rng.IntN(e.p.Cluster.Groups[g].Type.NumSpeeds() + 1)
+	e.speeds[g] = k
+	if err := e.inst.SetSpeed(g, k); err != nil {
+		panic("gsd: proposal out of range: " + err.Error())
+	}
+	e.propG = g
 	if sweep != nil {
-		sweep.Set(span.Int("group", g), span.Int("proposed_speed", e.speeds[g]))
+		sweep.Set(span.Int("group", g), span.Int("proposed_speed", k))
 		sweep.End()
 	}
 	e.iters++
@@ -276,7 +398,7 @@ func (e *engine) step(solve loadSolver) {
 	}
 }
 
-func (e *engine) run(solve loadSolver) Result {
+func (e *engine) run() Result {
 	start := time.Now()
 	var solveSpan *span.Span
 	if e.opts.Tracer != nil {
@@ -288,7 +410,7 @@ func (e *engine) run(solve loadSolver) Result {
 	patienceExit := false
 	lastBest := e.bestEver.Value
 	for e.iters < e.opts.MaxIters {
-		e.step(solve)
+		e.step()
 		if e.bestEver.Value < lastBest-1e-15*(1+math.Abs(lastBest)) {
 			lastBest = e.bestEver.Value
 			noImprove = 0
@@ -324,7 +446,7 @@ func Solve(p *dcmodel.SlotProblem, opts Options) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	return e.run(loadbalance.Solve), nil
+	return e.run(), nil
 }
 
 // Solver adapts GSD to the p3.Solver interface. Opts configures the first

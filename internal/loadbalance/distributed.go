@@ -95,13 +95,22 @@ func sumLoads(rs []priceResponse) float64 {
 	return s
 }
 
-// fill performs the distributed water-filling for a fixed electricity
+// fillInto performs the distributed water-filling for a fixed electricity
 // weight: geometric bracket expansion on ν followed by bisection, each step
-// one broadcast round.
-func (d *distCoordinator) fill(omega float64) ([]float64, error) {
+// one broadcast round. It implements the filler interface solveWith drives;
+// dst is reused when large enough.
+func (d *distCoordinator) fillInto(dst []float64, omega float64) ([]float64, error) {
+	loads := dst
+	if cap(loads) < len(d.in.groups) {
+		loads = make([]float64, len(d.in.groups))
+	}
+	loads = loads[:len(d.in.groups)]
 	target := d.in.prob.LambdaRPS
 	if target == 0 {
-		return make([]float64, len(d.in.groups)), nil
+		for i := range loads {
+			loads[i] = 0
+		}
+		return loads, nil
 	}
 	nuLo, nuHi := 0.0, 1.0
 	for iter := 0; iter < 200; iter++ {
@@ -124,7 +133,6 @@ func (d *distCoordinator) fill(omega float64) ([]float64, error) {
 	if last == nil {
 		last = d.round(omega, nuHi)
 	}
-	loads := make([]float64, len(d.in.groups))
 	var got float64
 	for i, r := range last {
 		loads[i] = r.load
@@ -177,11 +185,11 @@ func SolveDistributedCounted(p *dcmodel.SlotProblem, speeds []int) (dcmodel.Solu
 	}
 	d := newDistCoordinator(in)
 	defer d.stop()
-	loads, err := in.solveWith(d.fill)
+	loads, err := in.solveWith(d)
 	if err != nil {
 		return dcmodel.Solution{}, d.rounds, err
 	}
-	full := in.expand(loads)
+	full := in.expandInto(nil, loads)
 	return dcmodel.Solution{
 		Speeds: append([]int(nil), speeds...),
 		Load:   full,

@@ -1,0 +1,216 @@
+package loadbalance
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/dcmodel"
+	"repro/internal/stats"
+)
+
+// incrementalCase is one problem family for the mutation property test.
+type incrementalCase struct {
+	name string
+	prob *dcmodel.SlotProblem
+}
+
+func incrementalCases() []incrementalCase {
+	paper := dcmodel.PaperCluster(12)
+	het := dcmodel.HeterogeneousCluster(40, 4)
+	noDelay := dcmodel.HeterogeneousCluster(20, 2)
+	return []incrementalCase{
+		// Moderate load, active delay term, kink reachable via OnsiteKW.
+		{"paper-kink", &dcmodel.SlotProblem{
+			Cluster: paper, LambdaRPS: 0.3 * paper.MaxCapacityRPS(),
+			We: 0.07, Wd: 0.02, OnsiteKW: 1.5,
+		}},
+		// High load so random mutations routinely cross the feasibility edge.
+		{"paper-tight", &dcmodel.SlotProblem{
+			Cluster: paper, LambdaRPS: 0.8 * paper.MaxCapacityRPS(),
+			We: 0.05, Wd: 0.01,
+		}},
+		// Heterogeneous server generations: distinct slopes and speed counts.
+		{"hetero", &dcmodel.SlotProblem{
+			Cluster: het, LambdaRPS: 0.35 * het.MaxCapacityRPS(),
+			We: 0.07, Wd: 0.02, OnsiteKW: 3,
+		}},
+		// Wd = 0 exercises the fillNoDelay path and its cached orders.
+		{"no-delay", &dcmodel.SlotProblem{
+			Cluster: noDelay, LambdaRPS: 0.4 * noDelay.MaxCapacityRPS(),
+			We: 0.1, Wd: 0, OnsiteKW: 4,
+		}},
+	}
+}
+
+// solveFresh is the reference: a from-scratch NewInstance + Solve on a copy
+// of the speed vector.
+func solveFresh(p *dcmodel.SlotProblem, speeds []int) (dcmodel.Solution, error) {
+	in, err := NewInstance(p, speeds)
+	if err != nil {
+		return dcmodel.Solution{}, err
+	}
+	return in.Solve()
+}
+
+// requireBitEqual fails unless the persistent instance's solve reproduces
+// the fresh solve bit-for-bit (same error, same Value/Speeds/Load bits).
+func requireBitEqual(t *testing.T, step int, p *dcmodel.SlotProblem, in *Instance, mirror []int) {
+	t.Helper()
+	want, wantErr := solveFresh(p, mirror)
+	var got dcmodel.Solution
+	gotErr := in.SolveInto(&got)
+	if (wantErr != nil) != (gotErr != nil) {
+		t.Fatalf("step %d: error mismatch: fresh=%v persistent=%v (speeds %v)",
+			step, wantErr, gotErr, mirror)
+	}
+	if wantErr != nil {
+		if !errors.Is(gotErr, ErrInfeasible) || !errors.Is(wantErr, ErrInfeasible) {
+			t.Fatalf("step %d: unexpected error kinds: fresh=%v persistent=%v", step, wantErr, gotErr)
+		}
+		return
+	}
+	if math.Float64bits(got.Value) != math.Float64bits(want.Value) {
+		t.Fatalf("step %d: Value %v != fresh %v (speeds %v)", step, got.Value, want.Value, mirror)
+	}
+	if len(got.Speeds) != len(want.Speeds) || len(got.Load) != len(want.Load) {
+		t.Fatalf("step %d: shape mismatch: got %d/%d want %d/%d",
+			step, len(got.Speeds), len(got.Load), len(want.Speeds), len(want.Load))
+	}
+	for g := range want.Speeds {
+		if got.Speeds[g] != want.Speeds[g] {
+			t.Fatalf("step %d: Speeds[%d] = %d, fresh %d", step, g, got.Speeds[g], want.Speeds[g])
+		}
+		if math.Float64bits(got.Load[g]) != math.Float64bits(want.Load[g]) {
+			t.Fatalf("step %d: Load[%d] = %x, fresh %x (speeds %v)",
+				step, g, math.Float64bits(got.Load[g]), math.Float64bits(want.Load[g]), mirror)
+		}
+	}
+}
+
+// TestIncrementalMatchesFreshSolve drives a randomized SetSpeed/Revert/
+// Commit sequence against one persistent Instance and checks after every
+// mutation that it solves bit-for-bit identically to a fresh build of the
+// same speed vector, and that O(1) Feasible agrees with the full-problem
+// check.
+func TestIncrementalMatchesFreshSolve(t *testing.T) {
+	for _, tc := range incrementalCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			p := tc.prob
+			n := len(p.Cluster.Groups)
+			rng := stats.NewRNG(0xC0CA + uint64(n))
+			speeds := make([]int, n)
+			for g := range speeds {
+				speeds[g] = p.Cluster.Groups[g].Type.NumSpeeds()
+			}
+			in, err := NewInstance(p, speeds)
+			if err != nil {
+				t.Fatalf("initial NewInstance: %v", err)
+			}
+			mirror := append([]int(nil), speeds...)
+			requireBitEqual(t, -1, p, in, mirror)
+			for step := 0; step < 400; step++ {
+				g := rng.IntN(n)
+				k := rng.IntN(p.Cluster.Groups[g].Type.NumSpeeds() + 1)
+				if err := in.SetSpeed(g, k); err != nil {
+					t.Fatalf("step %d: SetSpeed(%d, %d): %v", step, g, k, err)
+				}
+				if rng.Float64() < 0.4 {
+					in.Revert()
+				} else {
+					mirror[g] = k
+					in.Commit()
+				}
+				if got, want := in.Feasible(), p.Feasible(mirror); got != want {
+					t.Fatalf("step %d: Feasible() = %v, full check = %v (speeds %v)",
+						step, got, want, mirror)
+				}
+				for i, s := range in.Speeds() {
+					if s != mirror[i] {
+						t.Fatalf("step %d: instance speeds %v desynced from mirror %v",
+							step, in.Speeds(), mirror)
+					}
+				}
+				requireBitEqual(t, step, p, in, mirror)
+			}
+		})
+	}
+}
+
+// TestRevertRestoresAfterFailedSolve pins that a SetSpeed whose solve fails
+// (infeasible capacity) reverts to a state that still solves exactly like
+// the pre-mutation instance.
+func TestRevertRestoresAfterFailedSolve(t *testing.T) {
+	paper := dcmodel.PaperCluster(4)
+	p := &dcmodel.SlotProblem{
+		Cluster: paper, LambdaRPS: 0.9 * paper.MaxCapacityRPS(),
+		We: 0.05, Wd: 0.02,
+	}
+	speeds := make([]int, 4)
+	for g := range speeds {
+		speeds[g] = paper.Groups[g].Type.NumSpeeds()
+	}
+	in, err := NewInstance(p, speeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var before dcmodel.Solution
+	if err := in.SolveInto(&before); err != nil {
+		t.Fatal(err)
+	}
+	// Turning a group off at 90% load must be infeasible.
+	if err := in.SetSpeed(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	var during dcmodel.Solution
+	if err := in.SolveInto(&during); !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("SolveInto after overload = %v, want ErrInfeasible", err)
+	}
+	if in.Feasible() {
+		t.Fatal("Feasible() = true with a group off at 90% load")
+	}
+	in.Revert()
+	var after dcmodel.Solution
+	if err := in.SolveInto(&after); err != nil {
+		t.Fatal(err)
+	}
+	if math.Float64bits(after.Value) != math.Float64bits(before.Value) {
+		t.Fatalf("Value after revert %v != before %v", after.Value, before.Value)
+	}
+	for g := range before.Load {
+		if math.Float64bits(after.Load[g]) != math.Float64bits(before.Load[g]) {
+			t.Fatalf("Load[%d] after revert %v != before %v", g, after.Load[g], before.Load[g])
+		}
+	}
+}
+
+// TestSetSpeedValidation pins the argument checks.
+func TestSetSpeedValidation(t *testing.T) {
+	c := twoGroups(false)
+	p := &dcmodel.SlotProblem{Cluster: c, LambdaRPS: 50, We: 0.05, Wd: 0.01}
+	in, err := NewInstance(p, []int{4, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := in.SetSpeed(-1, 1); err == nil {
+		t.Error("SetSpeed(-1, 1) accepted")
+	}
+	if err := in.SetSpeed(2, 1); err == nil {
+		t.Error("SetSpeed(2, 1) accepted")
+	}
+	if err := in.SetSpeed(0, c.Groups[0].Type.NumSpeeds()+1); err == nil {
+		t.Error("SetSpeed with speed out of range accepted")
+	}
+	// Failed validation must leave the instance untouched.
+	sol, err := in.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := Solve(p, []int{4, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Float64bits(sol.Value) != math.Float64bits(fresh.Value) {
+		t.Fatalf("instance diverged after rejected SetSpeed: %v != %v", sol.Value, fresh.Value)
+	}
+}

@@ -16,6 +16,12 @@
 // solver, and SolveDistributed, a dual-decomposition implementation in which
 // every server group runs as an autonomous goroutine answering price signals
 // (the distributed solution the paper points to via refs [5] and [27]).
+//
+// An Instance is mutable: SetSpeed applies a single-group speed change and
+// Revert undoes it, so an iterative caller (the GSD engine proposes one
+// coordinate change per Gibbs iteration) keeps one persistent Instance and
+// pays a delta update plus an allocation-free SolveInto per proposal instead
+// of rebuilding the subproblem 200·n times per slot.
 package loadbalance
 
 import (
@@ -42,49 +48,308 @@ type group struct {
 	cap     float64 // γ·R: maximum allowed load
 }
 
+// makeGroup builds the prepared constants for cluster group g at speed k > 0,
+// with exactly the arithmetic NewInstance has always used.
+func makeGroup(p *dcmodel.SlotProblem, g, k int) group {
+	grp := &p.Cluster.Groups[g]
+	r := grp.RateAt(k)
+	return group{
+		idx:     g,
+		n:       float64(grp.N),
+		rate:    r,
+		slopeKW: p.Cluster.PUE * grp.PowerSlopeKWPerRPS(k),
+		cap:     p.Cluster.Gamma * r,
+	}
+}
+
+// undoKind describes the structural effect of the last SetSpeed.
+type undoKind int
+
+const (
+	undoNone   undoKind = iota // speed unchanged, nothing to restore
+	undoModify                 // on→on: one entry rewritten in place
+	undoRemove                 // on→off: one entry removed
+	undoInsert                 // off→on: one entry inserted
+)
+
+// undoRecord snapshots what a single SetSpeed changed so Revert can restore
+// the instance bit-for-bit. The sums are restored from the snapshot rather
+// than recomputed: they were fresh ordered sums before the mutation, so
+// restoring them reproduces the exact pre-mutation bits.
+type undoRecord struct {
+	valid   bool
+	kind    undoKind
+	g       int   // cluster group the mutation touched
+	oldK    int   // its previous speed index
+	pos     int   // position in groups the mutation touched
+	entry   group // the displaced entry (modify/remove)
+	baseKW  float64
+	capSum  float64
+	rateSum float64
+}
+
+// fillSystem adapts an Instance to numopt.WaterSystem for one electricity
+// weight ω without allocating: the instance owns a single fillSystem and
+// rewrites omega per fill, and the pointer passed as the interface is the
+// already-heap-resident field, so no per-fill boxing occurs.
+type fillSystem struct {
+	in    *Instance
+	omega float64
+}
+
+func (s *fillSystem) Items() int        { return len(s.in.groups) }
+func (s *fillSystem) Cap(i int) float64 { return s.in.groups[i].cap }
+func (s *fillSystem) Deriv(i int, v float64) float64 {
+	return s.in.marginal(s.in.groups[i], s.omega, v)
+}
+func (s *fillSystem) Alloc(i int, nu float64) float64 {
+	return s.in.alloc(s.in.groups[i], s.omega, nu)
+}
+
+// orderCache memoizes the fillNoDelay group ordering. The sort key is
+// ω·slope, and ω only enters as a non-negative scale factor: for every ω > 0
+// the comparisons reduce to the slopes themselves, and for ω = 0 every key
+// collapses to zero and the (deliberately unstable) sort.Slice outcome is a
+// fixed permutation of the identity. So one order per sign class, recomputed
+// only when the speed configuration changes, reproduces the per-call sorts
+// bit-for-bit whenever slopes are exactly equal or well separated — which
+// holds for every cluster in this repository (homogeneous groups share one
+// slope; heterogeneous generations differ by ≫ 1 ulp).
+type orderCache struct {
+	valid bool
+	pos   []int // order for ω > 0 (ascending slope)
+	zero  []int // order for ω = 0 (all keys equal)
+}
+
+func (c *orderCache) get(in *Instance, omega float64) []int {
+	if !c.valid {
+		c.pos = sortedOrder(c.pos, in, 1)
+		c.zero = sortedOrder(c.zero, in, 0)
+		c.valid = true
+	}
+	if omega == 0 {
+		return c.zero
+	}
+	return c.pos
+}
+
+// sortedOrder reproduces fillNoDelay's historical per-call sort for a
+// representative omega of the sign class.
+func sortedOrder(buf []int, in *Instance, omega float64) []int {
+	n := len(in.groups)
+	if cap(buf) < n {
+		buf = make([]int, n)
+	}
+	buf = buf[:n]
+	for i := range buf {
+		buf[i] = i
+	}
+	sort.Slice(buf, func(a, b int) bool {
+		return omega*in.groups[buf[a]].slopeKW < omega*in.groups[buf[b]].slopeKW
+	})
+	return buf
+}
+
+// solveScratch holds the reusable buffers of the regime analysis: the grid
+// and surplus fills plus two rotating buffers for the ω-bisection, whose
+// last two evaluations double as a memo so the final fill can be reused
+// instead of recomputed when the bisection already evaluated the returned ω.
+type solveScratch struct {
+	grid []float64
+	free []float64
+	bis  [2][]float64
+}
+
 // Instance is a prepared subproblem for one (problem, speeds) pair. Prepare
 // once, then Solve; preparation separates validation from the hot path so
-// GSD can re-solve thousands of proposals cheaply.
+// GSD can re-solve thousands of proposals cheaply. SetSpeed/Revert/Commit
+// mutate the prepared state incrementally, and SolveInto reuses both the
+// caller's Solution buffers and the instance's internal scratch, so the
+// steady-state proposal loop performs no heap allocation.
 type Instance struct {
 	prob   *dcmodel.SlotProblem
-	speeds []int
-	groups []group
-	baseKW float64 // PUE · Σ static power of on groups (load-independent)
+	speeds []int   // owned copy of the current speed vector
+	groups []group // on groups, ascending cluster index
+	pos    []int   // cluster group index -> position in groups, -1 when off
+	static []float64 // per cluster group: PUE·n·StaticKW, speed-independent
+
+	// Tracked aggregates. Each is recomputed as a fresh ordered sum over the
+	// on groups after every structural change (never updated by +=delta):
+	// floating-point addition is order-sensitive, and accumulated delta
+	// drift in the last ulps would break the golden bit-for-bit parity the
+	// repository pins against a from-scratch NewInstance build.
+	baseKW  float64 // PUE · Σ static power of on groups (load-independent)
+	capSum  float64 // Σ γ·R of on groups (the feasibility bound NewInstance checks)
+	rateSum float64 // Σ R of on groups (Cluster.UsableCapacityRPS before the γ factor)
+
+	undo    undoRecord
+	sys     fillSystem
+	order   orderCache
+	scratch solveScratch
 }
 
 // NewInstance validates and prepares the subproblem. It returns
 // ErrInfeasible when the speed vector cannot carry the problem's λ.
+// The speed vector is copied; mutate the instance through SetSpeed.
 func NewInstance(p *dcmodel.SlotProblem, speeds []int) (*Instance, error) {
 	if len(speeds) != len(p.Cluster.Groups) {
 		return nil, fmt.Errorf("loadbalance: %d speeds for %d groups",
 			len(speeds), len(p.Cluster.Groups))
 	}
-	in := &Instance{prob: p, speeds: speeds}
-	var capSum float64
+	in := &Instance{
+		prob:   p,
+		speeds: append([]int(nil), speeds...),
+		pos:    make([]int, len(p.Cluster.Groups)),
+		static: make([]float64, len(p.Cluster.Groups)),
+	}
+	in.sys.in = in
 	for g := range p.Cluster.Groups {
 		k := speeds[g]
 		if k < 0 || k > p.Cluster.Groups[g].Type.NumSpeeds() {
 			return nil, fmt.Errorf("loadbalance: group %d speed index %d out of range", g, k)
 		}
+		grp := &p.Cluster.Groups[g]
+		in.static[g] = p.Cluster.PUE * float64(grp.N) * grp.Type.StaticKW
+		in.pos[g] = -1
 		if k == 0 {
 			continue
 		}
-		grp := &p.Cluster.Groups[g]
-		r := grp.RateAt(k)
-		in.groups = append(in.groups, group{
-			idx:     g,
-			n:       float64(grp.N),
-			rate:    r,
-			slopeKW: p.Cluster.PUE * grp.PowerSlopeKWPerRPS(k),
-			cap:     p.Cluster.Gamma * r,
-		})
-		in.baseKW += p.Cluster.PUE * float64(grp.N) * grp.Type.StaticKW
-		capSum += p.Cluster.Gamma * r
+		in.pos[g] = len(in.groups)
+		in.groups = append(in.groups, makeGroup(p, g, k))
 	}
-	if p.LambdaRPS > capSum*(1+1e-12) {
+	in.recompute()
+	if p.LambdaRPS > in.capSum*(1+1e-12) {
 		return nil, ErrInfeasible
 	}
 	return in, nil
+}
+
+// recompute refreshes the tracked aggregates as fresh sums over the on
+// groups in ascending cluster order — the exact accumulation order of a
+// from-scratch NewInstance (off groups contribute an exact +0 there, which
+// is an identity), so the values are bit-for-bit reproducible.
+func (in *Instance) recompute() {
+	var base, caps, rates float64
+	for i := range in.groups {
+		base += in.static[in.groups[i].idx]
+		caps += in.groups[i].cap
+		rates += in.groups[i].rate
+	}
+	in.baseKW, in.capSum, in.rateSum = base, caps, rates
+	in.order.valid = false
+}
+
+// Speeds returns the instance's current speed vector. The slice is the
+// instance's own state: treat it as read-only.
+func (in *Instance) Speeds() []int { return in.speeds }
+
+// Feasible reports whether the current speed configuration can carry the
+// problem's load under the γ cap. It is the O(1) equivalent of
+// SlotProblem.Feasible on the instance's speeds: rateSum is maintained in
+// UsableCapacityRPS's exact accumulation order, so the comparison is
+// bit-for-bit the same.
+func (in *Instance) Feasible() bool {
+	return in.prob.LambdaRPS <= in.rateSum*in.prob.Cluster.Gamma*(1+1e-12)
+}
+
+// SetSpeed retargets cluster group g to speed index k, updating the prepared
+// subproblem in place, and snapshots the previous state so Revert can undo
+// it. On groups stay ordered by cluster index, exactly as NewInstance builds
+// them. A no-op change (k equal to the current speed) still records an
+// (empty) undo snapshot.
+func (in *Instance) SetSpeed(g, k int) error {
+	if g < 0 || g >= len(in.pos) {
+		return fmt.Errorf("loadbalance: group %d out of range", g)
+	}
+	if k < 0 || k > in.prob.Cluster.Groups[g].Type.NumSpeeds() {
+		return fmt.Errorf("loadbalance: group %d speed index %d out of range", g, k)
+	}
+	old := in.speeds[g]
+	in.undo = undoRecord{
+		valid: true, kind: undoNone, g: g, oldK: old,
+		baseKW: in.baseKW, capSum: in.capSum, rateSum: in.rateSum,
+	}
+	if k == old {
+		return nil
+	}
+	in.speeds[g] = k
+	switch {
+	case old > 0 && k > 0:
+		p := in.pos[g]
+		in.undo.kind, in.undo.pos, in.undo.entry = undoModify, p, in.groups[p]
+		in.groups[p] = makeGroup(in.prob, g, k)
+	case old > 0: // k == 0: drop the entry
+		p := in.pos[g]
+		in.undo.kind, in.undo.pos, in.undo.entry = undoRemove, p, in.groups[p]
+		in.removeAt(p)
+	default: // old == 0, k > 0: insert in cluster-index order
+		p := in.insertPos(g)
+		in.undo.kind, in.undo.pos = undoInsert, p
+		in.insertAt(p, makeGroup(in.prob, g, k))
+	}
+	in.recompute()
+	return nil
+}
+
+// Revert undoes the most recent SetSpeed since the last Revert or Commit,
+// restoring the instance bit-for-bit (the tracked sums come back from the
+// snapshot, not a recomputation). It is a no-op when nothing is pending.
+func (in *Instance) Revert() {
+	if !in.undo.valid {
+		return
+	}
+	u := in.undo
+	in.undo.valid = false
+	in.speeds[u.g] = u.oldK
+	switch u.kind {
+	case undoNone:
+		return // sums and groups untouched; order cache still valid
+	case undoModify:
+		in.groups[u.pos] = u.entry
+	case undoRemove:
+		in.insertAt(u.pos, u.entry)
+	case undoInsert:
+		in.removeAt(u.pos)
+	}
+	in.baseKW, in.capSum, in.rateSum = u.baseKW, u.capSum, u.rateSum
+	in.order.valid = false
+}
+
+// Commit accepts the most recent SetSpeed, discarding its undo snapshot.
+func (in *Instance) Commit() { in.undo.valid = false }
+
+// insertPos returns the position in groups where cluster group g belongs
+// (groups are kept sorted by cluster index).
+func (in *Instance) insertPos(g int) int {
+	lo, hi := 0, len(in.groups)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if in.groups[mid].idx < g {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+func (in *Instance) insertAt(p int, e group) {
+	in.groups = append(in.groups, group{})
+	copy(in.groups[p+1:], in.groups[p:])
+	in.groups[p] = e
+	for i := p; i < len(in.groups); i++ {
+		in.pos[in.groups[i].idx] = i
+	}
+}
+
+func (in *Instance) removeAt(p int) {
+	g := in.groups[p].idx
+	copy(in.groups[p:], in.groups[p+1:])
+	in.groups = in.groups[:len(in.groups)-1]
+	in.pos[g] = -1
+	for i := p; i < len(in.groups); i++ {
+		in.pos[in.groups[i].idx] = i
+	}
 }
 
 // marginal returns d(cost)/dL for one group at load v under electricity
@@ -114,50 +379,58 @@ func (in *Instance) alloc(g group, omega, nu float64) float64 {
 	return numopt.Clamp(l, 0, g.cap)
 }
 
-// fill water-fills the total load across groups under electricity weight
-// omega, returning per-instance-group loads.
-func (in *Instance) fill(omega float64) ([]float64, error) {
+// filler computes one water-filling for a fixed electricity weight, writing
+// per-instance-group loads into dst (implementations may return a different
+// slice when dst is short). The centralized Instance and the distributed
+// price-protocol coordinator both implement it, so solveWith runs the
+// identical regime analysis over either.
+type filler interface {
+	fillInto(dst []float64, omega float64) ([]float64, error)
+}
+
+// fillInto water-fills the total load across groups under electricity weight
+// omega, writing per-instance-group loads into dst.
+func (in *Instance) fillInto(dst []float64, omega float64) ([]float64, error) {
 	if in.prob.Wd <= 0 {
-		return in.fillNoDelay(omega), nil
+		return in.fillNoDelayInto(dst, omega), nil
 	}
-	items := make([]numopt.WaterFillItem, len(in.groups))
-	for i, g := range in.groups {
-		g := g
-		items[i] = numopt.WaterFillItem{
-			Cap:   g.cap,
-			Deriv: func(v float64) float64 { return in.marginal(g, omega, v) },
-			Alloc: func(nu float64) float64 { return in.alloc(g, omega, nu) },
-		}
-	}
-	out, err := numopt.WaterFill(items, in.prob.LambdaRPS, waterFillTol)
+	in.sys.omega = omega
+	out, err := numopt.WaterFillInto(&in.sys, in.prob.LambdaRPS, waterFillTol, dst)
 	if err != nil {
 		return nil, ErrInfeasible
 	}
 	return out, nil
 }
 
-// fillNoDelay handles the degenerate Wd = 0 case (no delay weight): the cost
-// is linear in each load, so fill groups to their caps in ascending order of
-// electricity slope.
-func (in *Instance) fillNoDelay(omega float64) []float64 {
-	order := make([]int, len(in.groups))
-	for i := range order {
-		order[i] = i
+// fill is the allocating form of fillInto, kept for white-box tests and
+// one-shot callers.
+func (in *Instance) fill(omega float64) ([]float64, error) {
+	return in.fillInto(nil, omega)
+}
+
+// fillNoDelayInto handles the degenerate Wd = 0 case (no delay weight): the
+// cost is linear in each load, so fill groups to their caps in ascending
+// order of electricity slope. The order is cached per speed configuration
+// (see orderCache) instead of re-sorted on every call.
+func (in *Instance) fillNoDelayInto(dst []float64, omega float64) []float64 {
+	order := in.order.get(in, omega)
+	if cap(dst) < len(in.groups) {
+		dst = make([]float64, len(in.groups))
 	}
-	sort.Slice(order, func(a, b int) bool {
-		return omega*in.groups[order[a]].slopeKW < omega*in.groups[order[b]].slopeKW
-	})
-	out := make([]float64, len(in.groups))
+	dst = dst[:len(in.groups)]
+	for i := range dst {
+		dst[i] = 0
+	}
 	remaining := in.prob.LambdaRPS
 	for _, i := range order {
 		take := math.Min(remaining, in.groups[i].cap)
-		out[i] = take
+		dst[i] = take
 		remaining -= take
 		if remaining <= 0 {
 			break
 		}
 	}
-	return out
+	return dst
 }
 
 const waterFillTol = 1e-7
@@ -171,34 +444,58 @@ func (in *Instance) powerOf(loads []float64) float64 {
 	return p
 }
 
-// expand scatters instance-group loads back to full cluster-group indexing.
-func (in *Instance) expand(loads []float64) []float64 {
-	full := make([]float64, len(in.prob.Cluster.Groups))
-	for i, g := range in.groups {
-		full[g.idx] = loads[i]
+// expandInto scatters instance-group loads back to full cluster-group
+// indexing, writing into dst.
+func (in *Instance) expandInto(dst []float64, loads []float64) []float64 {
+	n := len(in.prob.Cluster.Groups)
+	if cap(dst) < n {
+		dst = make([]float64, n)
 	}
-	return full
+	dst = dst[:n]
+	for i := range dst {
+		dst[i] = 0
+	}
+	for i := range in.groups {
+		dst[in.groups[i].idx] = loads[i]
+	}
+	return dst
 }
 
 // Solve computes the optimal load distribution for the instance using the
 // centralized KKT water-filling solver with regime analysis on the [·]^+
-// kink.
+// kink. It allocates a fresh Solution; hot loops use SolveInto.
 func (in *Instance) Solve() (dcmodel.Solution, error) {
-	loads, err := in.solveWith(in.fill)
-	if err != nil {
+	var sol dcmodel.Solution
+	if err := in.SolveInto(&sol); err != nil {
 		return dcmodel.Solution{}, err
 	}
-	full := in.expand(loads)
-	return dcmodel.Solution{
-		Speeds: append([]int(nil), in.speeds...),
-		Load:   full,
-		Value:  in.prob.Objective(in.speeds, full),
-	}, nil
+	return sol, nil
+}
+
+// SolveInto is Solve writing into dst, reusing dst's Speeds/Load backing
+// arrays and the instance's internal scratch. After SetSpeed mutations it
+// re-checks capacity (the validation NewInstance performs on construction)
+// so an infeasible configuration surfaces as ErrInfeasible exactly as a
+// fresh build would.
+func (in *Instance) SolveInto(dst *dcmodel.Solution) error {
+	if in.prob.LambdaRPS > in.capSum*(1+1e-12) {
+		return ErrInfeasible
+	}
+	loads, err := in.solveWith(in)
+	if err != nil {
+		return err
+	}
+	dst.Speeds = append(dst.Speeds[:0], in.speeds...)
+	dst.Load = in.expandInto(dst.Load, loads)
+	dst.Value = in.prob.Objective(dst.Speeds, dst.Load)
+	return nil
 }
 
 // solveWith runs the regime analysis with a pluggable filler so the
-// distributed solver can reuse the identical logic.
-func (in *Instance) solveWith(fill func(omega float64) ([]float64, error)) ([]float64, error) {
+// distributed solver can reuse the identical logic. The returned slice
+// aliases the instance's scratch buffers; callers consume or copy it before
+// the next solve.
+func (in *Instance) solveWith(f filler) ([]float64, error) {
 	if len(in.groups) == 0 {
 		if in.prob.LambdaRPS > 0 {
 			return nil, ErrInfeasible
@@ -207,36 +504,60 @@ func (in *Instance) solveWith(fill func(omega float64) ([]float64, error)) ([]fl
 	}
 	r := in.prob.OnsiteKW
 	// Regime "grid": electricity weight fully active.
-	gridLoads, err := fill(in.prob.We)
+	gridLoads, err := f.fillInto(in.scratch.grid, in.prob.We)
 	if err != nil {
 		return nil, err
 	}
+	in.scratch.grid = gridLoads
 	if in.prob.We == 0 || in.powerOf(gridLoads) >= r-powerTol {
 		return gridLoads, nil
 	}
 	// Regime "surplus": on-site renewables cover everything; electricity
 	// weight vanishes under the [·]^+.
-	freeLoads, err := fill(0)
+	freeLoads, err := f.fillInto(in.scratch.free, 0)
 	if err != nil {
 		return nil, err
 	}
+	in.scratch.free = freeLoads
 	if in.powerOf(freeLoads) <= r+powerTol {
 		return freeLoads, nil
 	}
 	// Kink regime: the optimum pins total power at r. Total power is
 	// non-increasing in the effective weight ω, so bisect ω ∈ [0, We].
+	// The two rotating scratch buffers remember the last two evaluated
+	// (ω, loads) pairs; when the bisection returns an ω it already
+	// evaluated (a saturated endpoint or an exact hit), the computed loads
+	// are reused instead of re-filled.
+	var (
+		lastW  [2]float64
+		lastOK [2]bool
+		cur    int
+	)
 	omega := numopt.BisectMonotone(func(w float64) float64 {
-		loads, ferr := fill(w)
+		loads, ferr := f.fillInto(in.scratch.bis[cur], w)
 		if ferr != nil {
 			err = ferr
 			return 0
 		}
+		in.scratch.bis[cur] = loads
+		lastW[cur], lastOK[cur] = w, true
+		cur = 1 - cur
 		return in.powerOf(loads)
 	}, r, 0, in.prob.We, in.prob.We*1e-12, 100)
 	if err != nil {
 		return nil, err
 	}
-	return fill(omega)
+	for i := range lastW {
+		if lastOK[i] && lastW[i] == omega {
+			return in.scratch.bis[i], nil
+		}
+	}
+	loads, err := f.fillInto(in.scratch.bis[cur], omega)
+	if err != nil {
+		return nil, err
+	}
+	in.scratch.bis[cur] = loads
+	return loads, nil
 }
 
 const powerTol = 1e-6 // kW: tolerance when comparing power against r(t)

@@ -177,6 +177,34 @@ type WaterFillItem struct {
 	Alloc func(nu float64) float64
 }
 
+// WaterSystem is the closure-free description of the separable convex
+// program WaterFillInto solves: coordinate i has capacity Cap(i), marginal
+// cost Deriv(i, v) that is continuous and strictly increasing on [0, Cap(i)),
+// and inverse marginal Alloc(i, nu) extended by saturation. A single
+// implementation over preallocated arrays lets hot loops (the GSD inner
+// loop solves one such program per Gibbs proposal) water-fill with zero
+// per-coordinate closure allocations.
+type WaterSystem interface {
+	// Items returns the number of coordinates.
+	Items() int
+	// Cap returns the upper bound on coordinate i.
+	Cap(i int) float64
+	// Deriv returns the marginal cost of coordinate i at allocation v.
+	Deriv(i int, v float64) float64
+	// Alloc returns the allocation at which coordinate i's marginal cost
+	// equals price nu, clamped to [0, Cap(i)].
+	Alloc(i int, nu float64) float64
+}
+
+// waterItems adapts the closure-based []WaterFillItem form to WaterSystem so
+// WaterFill and WaterFillInto share one implementation of the algorithm.
+type waterItems []WaterFillItem
+
+func (w waterItems) Items() int                      { return len(w) }
+func (w waterItems) Cap(i int) float64               { return w[i].Cap }
+func (w waterItems) Deriv(i int, v float64) float64  { return w[i].Deriv(v) }
+func (w waterItems) Alloc(i int, nu float64) float64 { return w[i].Alloc(nu) }
+
 // WaterFill solves
 //
 //	min Σ_i cost_i(λ_i)   s.t.  Σ_i λ_i = total,  0 ≤ λ_i ≤ Cap_i
@@ -186,38 +214,55 @@ type WaterFillItem struct {
 // It returns the allocation, or ErrInfeasible when total exceeds Σ Cap_i or
 // total < 0.
 func WaterFill(items []WaterFillItem, total, tol float64) ([]float64, error) {
+	return WaterFillInto(waterItems(items), total, tol, nil)
+}
+
+// WaterFillInto is WaterFill over a WaterSystem, writing the allocation into
+// out (grown when its capacity is short) and returning it. With a
+// sufficiently large out it performs no allocation beyond what sys itself
+// does. The arithmetic — accumulation order, bracketing, bisection
+// tolerances, residual repair — is exactly WaterFill's, so the two produce
+// bit-for-bit identical allocations for equivalent inputs.
+func WaterFillInto(sys WaterSystem, total, tol float64, out []float64) ([]float64, error) {
 	if total < 0 {
 		return nil, ErrInfeasible
 	}
+	n := sys.Items()
 	var capSum float64
-	for _, it := range items {
-		capSum += it.Cap
+	for i := 0; i < n; i++ {
+		capSum += sys.Cap(i)
 	}
 	if total > capSum*(1+1e-12)+tol {
 		return nil, ErrInfeasible
 	}
-	out := make([]float64, len(items))
+	if cap(out) < n {
+		out = make([]float64, n)
+	}
+	out = out[:n]
 	if total == 0 {
+		for i := range out {
+			out[i] = 0
+		}
 		return out, nil
 	}
 	if total >= capSum {
-		for i, it := range items {
-			out[i] = it.Cap
+		for i := 0; i < n; i++ {
+			out[i] = sys.Cap(i)
 		}
 		return out, nil
 	}
 	sumAt := func(nu float64) float64 {
 		var s float64
-		for _, it := range items {
-			s += it.Alloc(nu)
+		for i := 0; i < n; i++ {
+			s += sys.Alloc(i, nu)
 		}
 		return s
 	}
 	// Bracket ν: start from the largest Deriv(0) and expand geometrically
 	// until the aggregate allocation covers total.
 	nuLo, nuHi := math.Inf(1), math.Inf(-1)
-	for _, it := range items {
-		d0 := it.Deriv(0)
+	for i := 0; i < n; i++ {
+		d0 := sys.Deriv(i, 0)
 		if d0 < nuLo {
 			nuLo = d0
 		}
@@ -233,17 +278,17 @@ func WaterFill(items []WaterFillItem, total, tol float64) ([]float64, error) {
 	}
 	nu := BisectMonotone(sumAt, total, nuLo, nuHi, (nuHi-nuLo)*1e-13, 120)
 	var got float64
-	for i, it := range items {
-		out[i] = it.Alloc(nu)
+	for i := 0; i < n; i++ {
+		out[i] = sys.Alloc(i, nu)
 		got += out[i]
 	}
 	// Repair the residual mismatch caused by finite bisection: spread it
 	// across coordinates with slack, preserving bounds.
 	resid := total - got
 	for pass := 0; pass < 4 && math.Abs(resid) > tol; pass++ {
-		for i, it := range items {
+		for i := 0; i < n; i++ {
 			if resid > 0 {
-				room := it.Cap - out[i]
+				room := sys.Cap(i) - out[i]
 				d := math.Min(room, resid)
 				out[i] += d
 				resid -= d

@@ -295,3 +295,89 @@ func TestWaterFillProperty(t *testing.T) {
 		}
 	}
 }
+
+// quadSystem is the WaterSystem form of quadItem costs 0.5·w_i·λ_i².
+type quadSystem struct {
+	w, caps []float64
+}
+
+func (q *quadSystem) Items() int                      { return len(q.w) }
+func (q *quadSystem) Cap(i int) float64               { return q.caps[i] }
+func (q *quadSystem) Deriv(i int, v float64) float64  { return q.w[i] * v }
+func (q *quadSystem) Alloc(i int, nu float64) float64 { return Clamp(nu/q.w[i], 0, q.caps[i]) }
+
+// TestWaterFillIntoMatchesWaterFill pins that the closure-free system form
+// produces bit-for-bit the closure form's allocation across random feasible
+// and infeasible inputs, including the total==0 and total>=capSum shortcuts.
+func TestWaterFillIntoMatchesWaterFill(t *testing.T) {
+	rng := stats.NewRNG(77)
+	for trial := 0; trial < 300; trial++ {
+		n := 1 + rng.IntN(9)
+		sys := &quadSystem{w: make([]float64, n), caps: make([]float64, n)}
+		items := make([]WaterFillItem, n)
+		var capSum float64
+		for i := 0; i < n; i++ {
+			sys.w[i] = rng.Uniform(0.1, 10)
+			sys.caps[i] = rng.Uniform(0.5, 20)
+			items[i] = quadItem(sys.w[i], sys.caps[i])
+			capSum += sys.caps[i]
+		}
+		var total float64
+		switch trial % 5 {
+		case 0:
+			total = 0
+		case 1:
+			total = capSum * 1.5 // infeasible
+		case 2:
+			total = capSum // exact capacity shortcut
+		default:
+			total = rng.Uniform(0, capSum)
+		}
+		want, wantErr := WaterFill(items, total, 1e-9)
+		got, gotErr := WaterFillInto(sys, total, 1e-9, nil)
+		if (wantErr != nil) != (gotErr != nil) {
+			t.Fatalf("trial %d: error mismatch: closures %v, system %v", trial, wantErr, gotErr)
+		}
+		if wantErr != nil {
+			continue
+		}
+		for i := range want {
+			if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+				t.Fatalf("trial %d: out[%d] = %x, closures %x", trial,
+					i, math.Float64bits(got[i]), math.Float64bits(want[i]))
+			}
+		}
+	}
+}
+
+// TestWaterFillIntoReusesBuffer pins the allocation contract: a big-enough
+// output buffer is reused (same backing array) and the steady-state call
+// performs zero heap allocations.
+func TestWaterFillIntoReusesBuffer(t *testing.T) {
+	sys := &quadSystem{w: []float64{1, 3, 2}, caps: []float64{5, 5, 5}}
+	buf := make([]float64, 3)
+	out, err := WaterFillInto(sys, 4, 1e-9, buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &out[0] != &buf[0] {
+		t.Error("WaterFillInto did not reuse the provided buffer")
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, err := WaterFillInto(sys, 4, 1e-9, buf); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("WaterFillInto allocated %v objects per run, want 0", allocs)
+	}
+	// A short buffer must be grown, not written out of bounds.
+	short := make([]float64, 1)
+	out, err = WaterFillInto(sys, 4, 1e-9, short)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 3 {
+		t.Fatalf("grown output length = %d, want 3", len(out))
+	}
+}
