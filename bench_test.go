@@ -6,18 +6,24 @@
 package coca
 
 import (
+	"fmt"
 	"testing"
 
 	"repro/internal/batch"
 	"repro/internal/dcmodel"
 	"repro/internal/experiments"
+	"repro/internal/geo"
 	"repro/internal/gsd"
 	"repro/internal/loadbalance"
 	"repro/internal/lyapunov"
 	"repro/internal/p3"
+	"repro/internal/price"
 	"repro/internal/queueing"
+	"repro/internal/renewable"
 	"repro/internal/sim"
 	"repro/internal/simtest"
+	"repro/internal/telemetry"
+	"repro/internal/trace"
 )
 
 // benchConfig is the reduced scale used by the figure benches: a 4-week
@@ -194,6 +200,70 @@ func BenchmarkLoadSplitProposal(b *testing.B) {
 		}
 		in.Revert()
 	}
+}
+
+// BenchmarkGeoStep measures the geo-federation split hot path — the
+// memoized greedy marginal allocation plus the per-site operate pass — at
+// two federation sizes and fan-outs. It reports the split's solve economy
+// alongside wall time: p3solves/step collapses from ~Chunks·K on the naive
+// loop to ~Chunks + K on the memoized path (see BenchmarkGeoStepNaive in
+// internal/geo for the reference cost).
+func BenchmarkGeoStep(b *testing.B) {
+	for _, k := range []int{4, 16} {
+		for _, workers := range []int{1, 4} {
+			b.Run(fmt.Sprintf("K=%d/workers=%d", k, workers), func(b *testing.B) {
+				sys, err := geo.NewSystem(benchGeoSites(k, 64), 0.005, 64)
+				if err != nil {
+					b.Fatal(err)
+				}
+				sys.SetWorkers(workers)
+				reg := telemetry.NewRegistry()
+				sys.Instrument(telemetry.NewGeoMetrics(reg, "geo"))
+				lambda := 0.4 * sys.TotalCapacityRPS()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := sys.Step(lambda, 120); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.StopTimer()
+				snap := reg.Snapshot()
+				if steps := snap.Counters["geo.steps"]; steps > 0 {
+					b.ReportMetric(snap.Counters["geo.p3_solves"]/steps, "p3solves/step")
+					b.ReportMetric(snap.Counters["geo.memo_hits"]/steps, "memohits/step")
+				}
+			})
+		}
+	}
+}
+
+// benchGeoSites builds a deterministic K-site federation for
+// BenchmarkGeoStep: staggered price levels and on-site renewables over
+// Opteron fleets.
+func benchGeoSites(k, slots int) []geo.Site {
+	sites := make([]geo.Site, k)
+	for i := range sites {
+		p := price.CAISOYear(uint64(i + 1))
+		scale := 0.4 + 0.15*float64(i%5)
+		for j := range p.Values {
+			p.Values[j] *= scale
+		}
+		sites[i] = geo.Site{
+			Name:   fmt.Sprintf("s%02d", i),
+			Server: dcmodel.Opteron(),
+			N:      60 + 10*(i%4),
+			Gamma:  0.95,
+			PUE:    1,
+			Price:  p,
+			Portfolio: &renewable.Portfolio{
+				OnsiteKW:   trace.Constant("r", float64(i%3), slots),
+				OffsiteKWh: trace.Constant("f", 2, slots),
+				RECsKWh:    float64(slots) * 3,
+				Alpha:      1,
+			},
+		}
+	}
+	return sites
 }
 
 func BenchmarkDeficitQueueUpdate(b *testing.B) {

@@ -15,10 +15,14 @@ import (
 	"repro/internal/baseline"
 	"repro/internal/dcmodel"
 	"repro/internal/experiments"
+	"repro/internal/geo"
 	"repro/internal/gsd"
+	"repro/internal/price"
+	"repro/internal/renewable"
 	"repro/internal/sim"
 	"repro/internal/simtest"
 	"repro/internal/telemetry"
+	"repro/internal/trace"
 )
 
 // benchReport is the machine-readable output of -bench-json: per-slot engine
@@ -38,11 +42,15 @@ type benchReport struct {
 		ResultHash string  `json:"result_hash"` // over every slot record of one run
 	} `json:"engine"`
 	Sweep struct {
-		Driver     string  `json:"driver"` // the experiment used as workload
-		Points     int     `json:"points"` // independent runs fanned out
+		Driver     string  `json:"driver"`     // the experiment used as workload
+		Points     int     `json:"points"`     // independent runs fanned out
+		GOMAXPROCS int     `json:"gomaxprocs"` // parallelism actually available to this section
 		SeqMs      float64 `json:"seq_ms"`
 		ParMs      float64 `json:"par_ms"`
 		ParWorkers int     `json:"par_workers"`
+		// Speedup is seq/par wall time; 0 when only one worker is available
+		// (a "speedup" measured against itself is meaningless and its gate
+		// is skipped — see compareBench).
 		Speedup    float64 `json:"speedup"`
 		ResultHash string  `json:"result_hash"` // over the sweep's result rows
 	} `json:"sweep"`
@@ -54,6 +62,16 @@ type benchReport struct {
 		AllocsPerSolve float64 `json:"allocs_per_solve"`
 		ResultHash     string  `json:"result_hash"` // over every solve's full solution
 	} `json:"gsd"`
+	Geo struct {
+		Sites           int     `json:"sites"`
+		Steps           int     `json:"steps"`
+		Workers         int     `json:"workers"`
+		GOMAXPROCS      int     `json:"gomaxprocs"`
+		NsPerStep       float64 `json:"ns_per_step"`
+		P3SolvesPerStep float64 `json:"p3_solves_per_step"` // fresh solves (memoized path)
+		MemoHitsPerStep float64 `json:"memo_hits_per_step"` // solves the memo table absorbed
+		ResultHash      string  `json:"result_hash"`        // over every step's split + charges
+	} `json:"geo"`
 }
 
 // fnvHash folds float64s into an FNV-64a stream as their little-endian
@@ -131,7 +149,9 @@ func runBench(path string, workers int, reg *telemetry.Registry) error {
 	// Sweep speedup: the Fig. 2 V-sweep fans its independent simulations
 	// over the worker pool; time it sequential vs parallel. Identical
 	// configs aside from Workers — the determinism tests guarantee the
-	// outputs are byte-identical, so only wall time differs.
+	// outputs are byte-identical, so only wall time differs. On a
+	// single-worker host the parallel arm would just re-run the sequential
+	// one, so it is skipped and the speedup left at 0.
 	benchCfg := func(w int) experiments.Config {
 		return experiments.Config{Slots: 60 * 24, N: 2000, Seed: 2012, Workers: w, Out: io.Discard, Telemetry: reg}
 	}
@@ -141,18 +161,21 @@ func runBench(path string, workers int, reg *telemetry.Registry) error {
 		return err
 	}
 	seqMs := time.Since(seqStart)
-	parStart := time.Now()
-	if _, err := experiments.Fig2(benchCfg(workers)); err != nil {
-		return err
-	}
-	parMs := time.Since(parStart)
 	rep.Sweep.Driver = "fig2"
 	rep.Sweep.Points = len(seqRes.Sweep) + 1 // V grid + the unaware reference arm
+	rep.Sweep.GOMAXPROCS = rep.GOMAXPROCS
 	rep.Sweep.SeqMs = float64(seqMs.Microseconds()) / 1e3
-	rep.Sweep.ParMs = float64(parMs.Microseconds()) / 1e3
 	rep.Sweep.ParWorkers = workers
-	if parMs > 0 {
-		rep.Sweep.Speedup = float64(seqMs) / float64(parMs)
+	if workers > 1 {
+		parStart := time.Now()
+		if _, err := experiments.Fig2(benchCfg(workers)); err != nil {
+			return err
+		}
+		parMs := time.Since(parStart)
+		rep.Sweep.ParMs = float64(parMs.Microseconds()) / 1e3
+		if parMs > 0 {
+			rep.Sweep.Speedup = float64(seqMs) / float64(parMs)
+		}
 	}
 	rep.Sweep.ResultHash = fig2ResultHash(seqRes)
 
@@ -198,6 +221,46 @@ func runBench(path string, workers int, reg *telemetry.Registry) error {
 	rep.GSD.AllocsPerSolve = float64(ms1.Mallocs-ms0.Mallocs) / gsdSolves
 	rep.GSD.ResultHash = gh.sum()
 
+	// Geo split: the memoized greedy marginal allocation over a 16-site
+	// federation, one Step+Settle per slot so the deficit queues feed back
+	// into later splits. The hash covers every step's totals and per-site
+	// decisions — the memo/parallel path must reproduce the naive split
+	// bit-for-bit — and the per-step solve counters come from the geo
+	// telemetry the same way the tests read them.
+	const geoSites, geoSlots = 16, 96
+	gsys, err := geo.NewSystem(benchGeoSites(geoSites, geoSlots), 0.005, geoSlots)
+	if err != nil {
+		return err
+	}
+	gsys.SetWorkers(workers)
+	geoReg := telemetry.NewRegistry()
+	gsys.Instrument(telemetry.NewGeoMetrics(geoReg, "geo"))
+	totalCap := gsys.TotalCapacityRPS()
+	geoHash := newFnvHash()
+	geoStart := time.Now()
+	for t := 0; t < geoSlots; t++ {
+		lambda := totalCap * (0.35 + 0.3*math.Sin(float64(t)/7))
+		out, err := gsys.Step(lambda, 120)
+		if err != nil {
+			return err
+		}
+		geoHash.floats(out.TotalCostUSD, out.TotalGridKWh)
+		for _, s := range out.Sites {
+			geoHash.floats(s.LoadRPS, float64(s.Speed), float64(s.Active), s.CostUSD, s.GridKWh)
+		}
+		gsys.Settle(out)
+	}
+	geoElapsed := time.Since(geoStart)
+	geoSnap := geoReg.Snapshot()
+	rep.Geo.Sites = geoSites
+	rep.Geo.Steps = geoSlots
+	rep.Geo.Workers = workers
+	rep.Geo.GOMAXPROCS = rep.GOMAXPROCS
+	rep.Geo.NsPerStep = float64(geoElapsed.Nanoseconds()) / geoSlots
+	rep.Geo.P3SolvesPerStep = geoSnap.Counters["geo.p3_solves"] / geoSlots
+	rep.Geo.MemoHitsPerStep = geoSnap.Counters["geo.memo_hits"] / geoSlots
+	rep.Geo.ResultHash = geoHash.sum()
+
 	buf, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		return err
@@ -206,10 +269,40 @@ func runBench(path string, workers int, reg *telemetry.Registry) error {
 	if err := os.WriteFile(path, buf, 0o644); err != nil {
 		return err
 	}
-	fmt.Printf("bench: engine %.0f ns/slot; sweep %.0f ms seq / %.0f ms on %d workers (%.2fx, %d cores); gsd %.1f ms/solve, %.0f allocs/solve -> %s\n",
+	fmt.Printf("bench: engine %.0f ns/slot; sweep %.0f ms seq / %.0f ms on %d workers (%.2fx, %d cores); gsd %.1f ms/solve, %.0f allocs/solve; geo %.0f us/step, %.0f p3 solves + %.0f memo hits/step -> %s\n",
 		rep.Engine.NsPerSlot, rep.Sweep.SeqMs, rep.Sweep.ParMs, workers, rep.Sweep.Speedup, rep.Cores,
-		rep.GSD.NsPerSolve/1e6, rep.GSD.AllocsPerSolve, path)
+		rep.GSD.NsPerSolve/1e6, rep.GSD.AllocsPerSolve,
+		rep.Geo.NsPerStep/1e3, rep.Geo.P3SolvesPerStep, rep.Geo.MemoHitsPerStep, path)
 	return nil
+}
+
+// benchGeoSites builds the deterministic K-site federation the geo bench
+// steps: staggered price levels and on-site renewables over Opteron fleets,
+// matching the recipe of the golden parity tests in internal/geo.
+func benchGeoSites(k, slots int) []geo.Site {
+	sites := make([]geo.Site, k)
+	for i := range sites {
+		p := price.CAISOYear(uint64(i + 1))
+		scale := 0.4 + 0.15*float64(i%5)
+		for j := range p.Values {
+			p.Values[j] *= scale
+		}
+		sites[i] = geo.Site{
+			Name:   fmt.Sprintf("s%02d", i),
+			Server: dcmodel.Opteron(),
+			N:      500 + 100*(i%4),
+			Gamma:  0.95,
+			PUE:    1,
+			Price:  p,
+			Portfolio: &renewable.Portfolio{
+				OnsiteKW:   trace.Constant("r", float64(i%3), slots),
+				OffsiteKWh: trace.Constant("f", 20, slots),
+				RECsKWh:    float64(slots) * 30,
+				Alpha:      1,
+			},
+		}
+	}
+	return sites
 }
 
 // benchWallTolerance is the relative wall-time drift the regression gate
@@ -253,6 +346,11 @@ func compareBench(path, basePath string) error {
 			"gsd result hash changed: %s -> %s (solver RNG sequence or arithmetic differs from baseline)",
 			base.GSD.ResultHash, fresh.GSD.ResultHash))
 	}
+	if base.Geo.ResultHash != "" && fresh.Geo.ResultHash != base.Geo.ResultHash {
+		problems = append(problems, fmt.Sprintf(
+			"geo result hash changed: %s -> %s (split arithmetic differs from baseline)",
+			base.Geo.ResultHash, fresh.Geo.ResultHash))
+	}
 	slower := func(name string, fresh, base float64) {
 		if base > 0 && fresh > base*(1+benchWallTolerance) {
 			problems = append(problems, fmt.Sprintf(
@@ -262,9 +360,16 @@ func compareBench(path, basePath string) error {
 	}
 	slower("engine ns/slot", fresh.Engine.NsPerSlot, base.Engine.NsPerSlot)
 	slower("sweep seq_ms", fresh.Sweep.SeqMs, base.Sweep.SeqMs)
-	slower("sweep par_ms", fresh.Sweep.ParMs, base.Sweep.ParMs)
+	// The parallel-arm gate only means something when both reports actually
+	// fanned out: a single-worker run records par_ms=0 / speedup=0 (the arm
+	// is skipped), so comparing against it would be noise.
+	if fresh.Sweep.ParWorkers > 1 && base.Sweep.ParWorkers > 1 {
+		slower("sweep par_ms", fresh.Sweep.ParMs, base.Sweep.ParMs)
+	}
 	slower("gsd ns/solve", fresh.GSD.NsPerSolve, base.GSD.NsPerSolve)
 	slower("gsd allocs/solve", fresh.GSD.AllocsPerSolve, base.GSD.AllocsPerSolve)
+	slower("geo ns/step", fresh.Geo.NsPerStep, base.Geo.NsPerStep)
+	slower("geo p3 solves/step", fresh.Geo.P3SolvesPerStep, base.Geo.P3SolvesPerStep)
 	if len(problems) > 0 {
 		for _, p := range problems {
 			fmt.Fprintf(os.Stderr, "bench regression: %s\n", p)

@@ -77,6 +77,8 @@ type System struct {
 	slot    int
 	tracer  *span.Tracer
 	metrics *telemetry.GeoMetrics
+	// splitWorkers bounds the split evaluator's fan-out; see SetWorkers.
+	splitWorkers int
 }
 
 // SetTracer attaches a span tracer: every subsequent Step records a
@@ -91,6 +93,23 @@ func (sys *System) SetTracer(tr *span.Tracer) { sys.tracer = tr }
 // counters and Settle the deficit gauges. Nil (the default) disables
 // instrumentation.
 func (sys *System) Instrument(m *telemetry.GeoMetrics) { sys.metrics = m }
+
+// SetWorkers bounds the split evaluator's fan-out: n > 1 evaluates P3
+// candidates on up to n goroutines with a deterministic lowest-index
+// argmin reduction, so the split is bit-identical to the sequential path
+// whatever the scheduling. n <= 1 (the default) stays sequential — unlike
+// experiments.Config.Workers, zero does NOT mean all cores, because geo
+// systems are routinely stepped inside already-pooled experiment workers
+// and must not oversubscribe by default.
+func (sys *System) SetWorkers(n int) { sys.splitWorkers = n }
+
+// workers resolves the effective split fan-out.
+func (sys *System) workers() int {
+	if sys.splitWorkers > 1 {
+		return sys.splitWorkers
+	}
+	return 1
+}
 
 // NewSystem validates and assembles the federation, creating one
 // carbon-deficit queue per site.
@@ -180,7 +199,9 @@ func (sys *System) siteLedger(k int) dcmodel.Ledger {
 }
 
 // siteValue returns site k's P3 optimum value at load mu (+Inf when the
-// site cannot carry mu).
+// site cannot carry mu). Only the naive reference loop uses it; the hot
+// path goes through evalSite, which additionally separates real solver
+// errors from capacity infeasibility.
 func (sys *System) siteValue(k int, v, mu float64) float64 {
 	if mu == 0 {
 		// An empty site powers down: zero P3 value.
@@ -193,6 +214,23 @@ func (sys *System) siteValue(k int, v, mu float64) float64 {
 	return sol.Value
 }
 
+// validateLoad guards the shared Step/ProportionalSplit preconditions:
+// horizon not exhausted, non-negative load, load within the federation's
+// aggregate capacity.
+func (sys *System) validateLoad(lambda float64) error {
+	if sys.slot >= sys.Slots {
+		return errors.New("geo: horizon exhausted")
+	}
+	if lambda < 0 {
+		return errors.New("geo: negative load")
+	}
+	if lambda > sys.TotalCapacityRPS() {
+		return fmt.Errorf("geo: load %v exceeds federation capacity %v",
+			lambda, sys.TotalCapacityRPS())
+	}
+	return nil
+}
+
 // Chunks is the load-split granularity of Step: the slot's arrivals are
 // allocated in λ/Chunks increments by greedy marginal cost.
 const Chunks = 100
@@ -200,49 +238,31 @@ const Chunks = 100
 // Step distributes lambda across the sites minimizing the federation's P3
 // objective Σ_k [V·g_k + q_k·y_k], operates each site, and returns the
 // outcome. Call Settle with the realized off-site generation afterwards.
+//
+// The split runs on the memoized greedy engine of split.go: bit-identical
+// to the naive O(Chunks·K)-solve loop (kept as stepNaive, pinned by golden
+// hash tests) at O(Chunks + K) P3 solves, with the candidate evaluations
+// optionally fanned across SetWorkers goroutines. Real solver failures
+// abort the step and count into geo.solve_errors; capacity infeasibility
+// never does — a full site is a legitimate split answer.
 func (sys *System) Step(lambda float64, v float64) (StepOutcome, error) {
-	if sys.slot >= sys.Slots {
-		return StepOutcome{}, errors.New("geo: horizon exhausted")
-	}
-	if lambda < 0 {
-		return StepOutcome{}, errors.New("geo: negative load")
-	}
-	if lambda > sys.TotalCapacityRPS() {
-		return StepOutcome{}, fmt.Errorf("geo: load %v exceeds federation capacity %v",
-			lambda, sys.TotalCapacityRPS())
+	if err := sys.validateLoad(lambda); err != nil {
+		return StepOutcome{}, err
 	}
 	k := len(sys.Sites)
 	stepSpan := sys.tracer.StartRoot("geo.step",
 		span.Int("slot", sys.slot), span.Float("lambda_rps", lambda),
-		span.Float("v", v), span.Int("sites", k))
+		span.Float("v", v), span.Int("sites", k),
+		span.Int("workers", sys.workers()))
 	defer stepSpan.End()
-	split := make([]float64, k)
-	chunks := make([]int, k) // greedy chunks won, for spans and metrics
-	marginal := make([]float64, k)
-	if lambda > 0 {
-		chunk := lambda / Chunks
-		cur := make([]float64, k) // current site values
-		for c := 0; c < Chunks; c++ {
-			best := -1
-			bestDelta := math.Inf(1)
-			for i := 0; i < k; i++ {
-				if split[i]+chunk > sys.Sites[i].CapacityRPS() {
-					continue
-				}
-				delta := sys.siteValue(i, v, split[i]+chunk) - cur[i]
-				if delta < bestDelta {
-					best, bestDelta = i, delta
-				}
-			}
-			if best < 0 {
-				stepSpan.Set(span.Str("error", "no site can absorb the next chunk"))
-				return StepOutcome{}, errors.New("geo: no site can absorb the next chunk")
-			}
-			split[best] += chunk
-			cur[best] += bestDelta
-			chunks[best]++
-			marginal[best] = bestDelta
+	plan, err := sys.greedySplit(lambda, v)
+	if err != nil {
+		stepSpan.Set(span.Str("error", err.Error()),
+			span.Int("p3_solves", plan.p3Solves), span.Int("memo_hits", plan.memoHits))
+		if !errors.Is(err, errNoAbsorb) {
+			sys.metrics.IncSolveError()
 		}
+		return StepOutcome{}, err
 	}
 	out := StepOutcome{Sites: make([]SiteOutcome, k)}
 	for i := 0; i < k; i++ {
@@ -250,21 +270,17 @@ func (sys *System) Step(lambda float64, v float64) (StepOutcome, error) {
 		if stepSpan != nil {
 			siteSpan = stepSpan.Child("geo.site",
 				span.Str("site", sys.Sites[i].Name),
-				span.Float("load_rps", split[i]),
-				span.Int("chunks", chunks[i]),
-				span.Float("marginal_usd", marginal[i]),
+				span.Float("load_rps", plan.split[i]),
+				span.Int("chunks", plan.chunks[i]),
+				span.Float("marginal_usd", plan.marginal[i]),
 				span.Float("queue_kwh", sys.queues[i].Len()))
 		}
-		so := SiteOutcome{LoadRPS: split[i]}
-		if split[i] > 0 {
-			sol, err := sys.siteProblem(i, v, split[i]).Solve()
-			if err != nil {
-				if siteSpan != nil {
-					siteSpan.Set(span.Str("error", err.Error()))
-					siteSpan.End()
-				}
-				return StepOutcome{}, fmt.Errorf("geo: site %s: %w", sys.Sites[i].Name, err)
-			}
+		so := SiteOutcome{LoadRPS: plan.split[i]}
+		if plan.split[i] > 0 {
+			// The site's last winning candidate was solved at exactly this
+			// load: reuse it instead of the naive loop's final re-solve.
+			sol := plan.sols[i]
+			plan.memoHits++
 			so.Speed, so.Active = sol.Speed, sol.Active
 			ch := sys.siteLedger(i).Charge(sol.PowerKW, sol.DelayCost, 0)
 			so.PowerKW, so.GridKWh, so.DelayCost = ch.PowerKW, ch.GridKWh, ch.DelayCost
@@ -276,16 +292,19 @@ func (sys *System) Step(lambda float64, v float64) (StepOutcome, error) {
 				span.Float("cost_usd", so.CostUSD), span.Float("grid_kwh", so.GridKWh))
 			siteSpan.End()
 		}
-		sys.metrics.ObserveSite(sys.Sites[i].Name, so.LoadRPS, chunks[i], so.CostUSD, so.GridKWh)
+		sys.metrics.ObserveSite(sys.Sites[i].Name, so.LoadRPS, plan.chunks[i], so.CostUSD, so.GridKWh)
 		out.Sites[i] = so
 		out.TotalCostUSD += so.CostUSD
 		out.TotalGridKWh += so.GridKWh
 	}
 	sys.metrics.ObserveStep(out.TotalCostUSD, out.TotalGridKWh)
+	sys.metrics.ObserveSplit(plan.p3Solves, plan.memoHits)
 	if stepSpan != nil {
 		stepSpan.Set(
 			span.Float("total_usd", out.TotalCostUSD),
-			span.Float("total_grid_kwh", out.TotalGridKWh))
+			span.Float("total_grid_kwh", out.TotalGridKWh),
+			span.Int("p3_solves", plan.p3Solves),
+			span.Int("memo_hits", plan.memoHits))
 	}
 	return out, nil
 }
@@ -304,10 +323,11 @@ func (sys *System) Settle(out StepOutcome) {
 
 // ProportionalSplit is the carbon- and price-blind baseline: load shares
 // proportional to site capacity. It returns the same outcome structure so
-// runs are directly comparable.
+// runs are directly comparable, and shares Step's validateLoad guards
+// (horizon, negative load, capacity).
 func (sys *System) ProportionalSplit(lambda float64, v float64) (StepOutcome, error) {
-	if lambda > sys.TotalCapacityRPS() {
-		return StepOutcome{}, errors.New("geo: load exceeds capacity")
+	if err := sys.validateLoad(lambda); err != nil {
+		return StepOutcome{}, err
 	}
 	total := sys.TotalCapacityRPS()
 	out := StepOutcome{Sites: make([]SiteOutcome, len(sys.Sites))}

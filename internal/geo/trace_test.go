@@ -73,6 +73,16 @@ func TestStepTracedSpans(t *testing.T) {
 		if got := st.Attrs["slot"]; got != float64(i) {
 			t.Fatalf("geo.step %d slot attr = %v", i, got)
 		}
+		// The split hot path annotates its solve accounting and fan-out.
+		if got, ok := st.Attrs["p3_solves"].(float64); !ok || got <= 0 {
+			t.Fatalf("geo.step %d p3_solves attr = %v, want > 0", i, st.Attrs["p3_solves"])
+		}
+		if got, ok := st.Attrs["memo_hits"].(float64); !ok || got <= 0 {
+			t.Fatalf("geo.step %d memo_hits attr = %v, want > 0", i, st.Attrs["memo_hits"])
+		}
+		if got, ok := st.Attrs["workers"].(float64); !ok || got != 1 {
+			t.Fatalf("geo.step %d workers attr = %v, want 1 (default sequential)", i, st.Attrs["workers"])
+		}
 		stepIDs[st.ID] = i
 	}
 	if want := 2 * len(sys.Sites); len(sites) != want {
@@ -135,6 +145,15 @@ func TestStepMetrics(t *testing.T) {
 	snap := reg.Snapshot()
 	if got := snap.Counters["geo.steps"]; got != 1 {
 		t.Fatalf("geo.steps = %v, want 1", got)
+	}
+	if got := snap.Counters["geo.p3_solves"]; got <= 0 {
+		t.Fatalf("geo.p3_solves = %v, want > 0", got)
+	}
+	if got := snap.Counters["geo.memo_hits"]; got <= 0 {
+		t.Fatalf("geo.memo_hits = %v, want > 0", got)
+	}
+	if got := snap.Counters["geo.solve_errors"]; got != 0 {
+		t.Fatalf("geo.solve_errors = %v on a healthy step", got)
 	}
 	if got := snap.Counters["geo.total_usd"]; got != out.TotalCostUSD {
 		t.Fatalf("geo.total_usd = %v, want %v", got, out.TotalCostUSD)

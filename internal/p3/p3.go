@@ -34,6 +34,13 @@ var ErrTooLarge = errors.New("p3: instance too large for exhaustive enumeration"
 // ErrInfeasible is returned when no speed vector can carry the load.
 var ErrInfeasible = errors.New("p3: no feasible configuration")
 
+// ErrInvalid is returned for malformed problem instances — a non-positive
+// fleet, a negative or NaN load. It is a caller bug, deliberately distinct
+// from ErrInfeasible's "no configuration can carry this load", which
+// solvers legitimately probe for (the geo split treats infeasibility as
+// "site full"; it must not mistake a corrupted instance for that).
+var ErrInvalid = errors.New("p3: invalid problem instance")
+
 // EnumerateLimit caps the number of speed vectors Enumerate will visit.
 const EnumerateLimit = 2_000_000
 
@@ -204,8 +211,8 @@ func (hp *HomogeneousProblem) switchPenalty(m int) float64 {
 // decreasing delay + convex switching penalty), so an integer ternary search
 // with a guard sweep is exact.
 func (hp *HomogeneousProblem) Solve() (HomogeneousSolution, error) {
-	if hp.N <= 0 || hp.LambdaRPS < 0 {
-		return HomogeneousSolution{}, ErrInfeasible
+	if hp.N <= 0 || hp.LambdaRPS < 0 || math.IsNaN(hp.LambdaRPS) {
+		return HomogeneousSolution{}, ErrInvalid
 	}
 	if hp.LambdaRPS == 0 {
 		// With no load the delay term vanishes; all-off is optimal up to the

@@ -1,6 +1,7 @@
 package p3
 
 import (
+	"errors"
 	"math"
 	"testing"
 
@@ -94,9 +95,22 @@ func TestHomogeneousInfeasible(t *testing.T) {
 	if _, err := hp.Solve(); err != ErrInfeasible {
 		t.Errorf("want ErrInfeasible, got %v", err)
 	}
-	bad := &HomogeneousProblem{Type: dcmodel.Opteron(), N: 0, LambdaRPS: 1}
-	if _, err := bad.Solve(); err != ErrInfeasible {
-		t.Errorf("empty fleet: want ErrInfeasible, got %v", err)
+}
+
+func TestHomogeneousInvalid(t *testing.T) {
+	// Malformed instances are caller bugs, not capacity answers: they must
+	// be distinguishable from ErrInfeasible so probing solvers (the geo
+	// split) do not mask corruption as "site full".
+	cases := []*HomogeneousProblem{
+		{Type: dcmodel.Opteron(), N: 0, LambdaRPS: 1},
+		{Type: dcmodel.Opteron(), N: -3, Gamma: 0.95, PUE: 1, LambdaRPS: 1},
+		{Type: dcmodel.Opteron(), N: 10, Gamma: 0.95, PUE: 1, LambdaRPS: -1},
+		{Type: dcmodel.Opteron(), N: 10, Gamma: 0.95, PUE: 1, LambdaRPS: math.NaN()},
+	}
+	for i, hp := range cases {
+		if _, err := hp.Solve(); !errors.Is(err, ErrInvalid) {
+			t.Errorf("case %d: want ErrInvalid, got %v", i, err)
+		}
 	}
 }
 

@@ -136,6 +136,10 @@ type GeoMetrics struct {
 	TotalUSD *Counter
 	GridKWh  *Counter
 
+	P3Solves    *Counter // fresh P3 solves spent on the split hot path
+	MemoHits    *Counter // candidate reads served by the per-slot memo table
+	SolveErrors *Counter // real (non-infeasibility) solver failures surfaced by Step
+
 	registry *Registry
 	prefix   string
 	sites    map[string]*GeoSiteMetrics
@@ -147,12 +151,15 @@ type GeoMetrics struct {
 func NewGeoMetrics(r *Registry, prefix string) *GeoMetrics {
 	p := prefix + "."
 	return &GeoMetrics{
-		Steps:    r.Counter(p + "steps"),
-		TotalUSD: r.Counter(p + "total_usd"),
-		GridKWh:  r.Counter(p + "grid_kwh"),
-		registry: r,
-		prefix:   prefix,
-		sites:    make(map[string]*GeoSiteMetrics),
+		Steps:       r.Counter(p + "steps"),
+		TotalUSD:    r.Counter(p + "total_usd"),
+		GridKWh:     r.Counter(p + "grid_kwh"),
+		P3Solves:    r.Counter(p + "p3_solves"),
+		MemoHits:    r.Counter(p + "memo_hits"),
+		SolveErrors: r.Counter(p + "solve_errors"),
+		registry:    r,
+		prefix:      prefix,
+		sites:       make(map[string]*GeoSiteMetrics),
 	}
 }
 
@@ -200,6 +207,27 @@ func (m *GeoMetrics) ObserveSite(name string, loadRPS float64, chunks int, costU
 	s.Chunks.Add(float64(chunks))
 	s.CostUSD.Add(costUSD)
 	s.GridKWh.Add(gridKWh)
+}
+
+// ObserveSplit folds one slot's split-path solve accounting into the
+// instruments: fresh P3 solves spent and the candidate evaluations the
+// per-slot memo table absorbed (each hit is a solve the naive greedy loop
+// would have paid for).
+func (m *GeoMetrics) ObserveSplit(p3Solves, memoHits int) {
+	if m == nil {
+		return
+	}
+	m.P3Solves.Add(float64(p3Solves))
+	m.MemoHits.Add(float64(memoHits))
+}
+
+// IncSolveError records a real solver failure — anything beyond
+// capacity-type infeasibility — surfaced by a federation step.
+func (m *GeoMetrics) IncSolveError() {
+	if m == nil {
+		return
+	}
+	m.SolveErrors.Inc()
 }
 
 // SetDeficit records a site's current carbon-deficit queue length.
