@@ -1,0 +1,203 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/serve"
+)
+
+// startDaemon runs the daemon body in a goroutine and returns its base URL
+// and a kill function that triggers graceful shutdown and waits for the
+// final checkpoint to land.
+func startDaemon(t *testing.T, args ...string) (base string, kill func()) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	ready := make(chan string, 1)
+	done := make(chan error, 1)
+	var errBuf bytes.Buffer
+	go func() {
+		done <- run(ctx, args, &bytes.Buffer{}, &errBuf, func(addr string) { ready <- addr })
+	}()
+	select {
+	case addr := <-ready:
+		base = "http://" + addr
+	case err := <-done:
+		t.Fatalf("daemon exited before ready: %v\nstderr: %s", err, errBuf.String())
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon never became ready")
+	}
+	var once bool
+	kill = func() {
+		if once {
+			return
+		}
+		once = true
+		cancel()
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatalf("daemon exited with %v\nstderr: %s", err, errBuf.String())
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatal("daemon did not shut down")
+		}
+	}
+	t.Cleanup(kill)
+	return base, kill
+}
+
+// emitNDJSON renders the daemon's own synthetic stream for [start, start+count).
+func emitNDJSON(t *testing.T, start, count int) string {
+	t.Helper()
+	var out bytes.Buffer
+	err := run(context.Background(), []string{
+		"-n", "15", "-groups", "3", "-seed", "7",
+		"-emit-slots", strconv.Itoa(count), "-emit-start", strconv.Itoa(start),
+	}, &out, &bytes.Buffer{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out.String()
+}
+
+func ingest(t *testing.T, base, ndjson string) int {
+	t.Helper()
+	resp, err := http.Post(base+"/ingest", "application/x-ndjson", strings.NewReader(ndjson))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	n := 0
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		var m map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &m); err != nil {
+			t.Fatal(err)
+		}
+		if msg, ok := m["error"]; ok {
+			t.Fatalf("ingest error after %d slots: %v", n, msg)
+		}
+		n++
+	}
+	return n
+}
+
+func getState(t *testing.T, base string) serve.State {
+	t.Helper()
+	resp, err := http.Get(base + "/state")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st serve.State
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// TestDaemonKillRestoreParity is the end-to-end acceptance smoke: stream
+// 50 slots, SIGTERM-equivalent shutdown (final checkpoint), restart with
+// -restore, stream the next 50, and require the final state hash to equal
+// an uninterrupted 100-slot run's.
+func TestDaemonKillRestoreParity(t *testing.T) {
+	dir := t.TempDir()
+	ckpt := filepath.Join(dir, "run.ckpt.json")
+	common := []string{
+		"-n", "15", "-groups", "3", "-seed", "7",
+		"-frames", "13", "-frame", "24", "-checkpoint-every", "10",
+	}
+
+	base, kill := startDaemon(t, append([]string{"-addr", "127.0.0.1:0", "-checkpoint", ckpt}, common...)...)
+	if n := ingest(t, base, emitNDJSON(t, 0, 50)); n != 50 {
+		t.Fatalf("first leg settled %d slots", n)
+	}
+	kill()
+
+	base2, kill2 := startDaemon(t, append([]string{
+		"-addr", "127.0.0.1:0", "-checkpoint", ckpt, "-restore", ckpt,
+	}, common...)...)
+	st := getState(t, base2)
+	if st.Slot != 50 || !st.Restored {
+		t.Fatalf("restored daemon state = %+v, want slot 50 restored", st)
+	}
+	if n := ingest(t, base2, emitNDJSON(t, 50, 50)); n != 50 {
+		t.Fatalf("second leg settled %d slots", n)
+	}
+	interrupted := getState(t, base2)
+	kill2()
+
+	ckptRef := filepath.Join(dir, "ref.ckpt.json")
+	base3, kill3 := startDaemon(t, append([]string{"-addr", "127.0.0.1:0", "-checkpoint", ckptRef}, common...)...)
+	if n := ingest(t, base3, emitNDJSON(t, 0, 100)); n != 100 {
+		t.Fatalf("reference run settled %d slots", n)
+	}
+	reference := getState(t, base3)
+	kill3()
+
+	if interrupted.Slot != 100 || reference.Slot != 100 {
+		t.Fatalf("slot counts: interrupted %d, reference %d", interrupted.Slot, reference.Slot)
+	}
+	if interrupted.Hash != reference.Hash {
+		t.Fatalf("state hash after kill+restore %s, uninterrupted %s", interrupted.Hash, reference.Hash)
+	}
+	if interrupted.TotalUSD != reference.TotalUSD || interrupted.GridKWh != reference.GridKWh {
+		t.Fatalf("accounting diverges: %+v vs %+v", interrupted, reference)
+	}
+}
+
+// TestDaemonEndpointsOneListener confirms the app and telemetry surfaces
+// share the mux.
+func TestDaemonEndpointsOneListener(t *testing.T) {
+	dir := t.TempDir()
+	base, _ := startDaemon(t, "-addr", "127.0.0.1:0",
+		"-checkpoint", filepath.Join(dir, "ck.json"), "-n", "15", "-groups", "3")
+	for _, path := range []string{"/state", "/checkpoint", "/metrics", "/spans", "/debug/vars"} {
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("GET %s = %d", path, resp.StatusCode)
+		}
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	cases := [][]string{
+		{"-n", "-5"},
+		{"-groups", "0"},
+		{"-v", "0"},
+		{"-checkpoint-every", "-1"},
+		{"-groups", "10", "-n", "4"},
+		{"-beta", "NaN"},
+	}
+	for _, args := range cases {
+		err := run(context.Background(), args, &bytes.Buffer{}, &bytes.Buffer{}, nil)
+		if !errors.Is(err, errUsage) {
+			t.Errorf("run(%v) = %v, want usage error", args, err)
+		}
+	}
+}
+
+func TestEmitSlotsWindows(t *testing.T) {
+	full := emitNDJSON(t, 0, 100)
+	split := emitNDJSON(t, 0, 50) + emitNDJSON(t, 50, 50)
+	if full != split {
+		t.Fatal("emitted stream is not position-addressable across windows")
+	}
+	if got := strings.Count(full, "\n"); got != 100 {
+		t.Fatalf("emitted %d records, want 100", got)
+	}
+}

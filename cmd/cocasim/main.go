@@ -28,6 +28,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/cliutil"
 	"repro/internal/experiments"
 	"repro/internal/report"
 	"repro/internal/telemetry"
@@ -57,6 +58,20 @@ func main() {
 		benchAgainst = flag.String("bench-against", "", "with -bench-json: compare the fresh report against this baseline (hard equality on result hashes, ±25% wall-time tolerance) and exit non-zero on regression")
 	)
 	flag.Parse()
+
+	// Reject nonsensical values up front: a negative -workers used to slip
+	// through the pool's `> 0` check and silently mean "all cores".
+	if err := cliutil.FirstError(
+		cliutil.Workers(*workers),
+		cliutil.NonNegativeCount("-slots", *slots),
+		cliutil.NonNegativeCount("-n", *n),
+		cliutil.NonNegativeFloat("-beta", *beta),
+		cliutil.NonNegativeFloat("-budget", *budget),
+		cliutil.PositiveFloat("-v", *vParam),
+	); err != nil {
+		fmt.Fprintf(os.Stderr, "%v\n", err)
+		os.Exit(2)
+	}
 
 	reg := telemetry.NewRegistry()
 	var tracer *span.Tracer

@@ -18,6 +18,7 @@ import (
 	"repro/internal/price"
 	"repro/internal/queueing"
 	"repro/internal/renewable"
+	"repro/internal/serve"
 	"repro/internal/sim"
 	"repro/internal/simtest"
 	"repro/internal/telemetry"
@@ -440,4 +441,54 @@ func SimulateQueue(cfg QueueConfig) (QueueResult, error) { return queueing.Simul
 // AnalyticMeanJobs is the M/G/1/PS prediction λ/(x−λ) behind Eq. (4).
 func AnalyticMeanJobs(arrivalRPS, serviceRPS float64) float64 {
 	return queueing.AnalyticMeanJobs(arrivalRPS, serviceRPS)
+}
+
+// Control plane (the cocad daemon's library surface): the controller as a
+// long-running service over streaming observations, with versioned
+// checkpoint/restore of every piece of cross-slot state.
+type (
+	// ControlService wraps a Controller in a slot loop with streaming
+	// ingest, an FNV-1a state-hash chain and checkpoint/restore.
+	ControlService = serve.Service
+	// ControlSlotInput is one slot's observations on the wire.
+	ControlSlotInput = serve.SlotInput
+	// ControlDecision is the service's answer for one ingested slot.
+	ControlDecision = serve.Decision
+	// ControlState is the service's queryable running state.
+	ControlState = serve.State
+	// ControlMetrics instruments a ControlService.
+	ControlMetrics = serve.Metrics
+	// ServiceCheckpoint snapshots a ControlService (controller included).
+	ServiceCheckpoint = serve.Checkpoint
+	// ControllerCheckpoint snapshots a Controller: slot cursor, switching
+	// anchor, deficit queue and the solver's opaque cross-slot state.
+	ControllerCheckpoint = core.ControllerCheckpoint
+	// PolicyCheckpoint snapshots the homogeneous COCA policy.
+	PolicyCheckpoint = core.PolicyCheckpoint
+	// EngineCheckpoint snapshots a sim Engine mid-run.
+	EngineCheckpoint = sim.EngineCheckpoint
+	// QueueCheckpoint snapshots a DeficitQueue.
+	QueueCheckpoint = lyapunov.QueueCheckpoint
+	// GSDSolverCheckpoint snapshots a GSDSolver's advancing seed and
+	// warm-start vector.
+	GSDSolverCheckpoint = gsd.SolverCheckpoint
+	// SolverState is the opaque checkpoint interface a P3 solver may
+	// implement to ride along in ControllerCheckpoints.
+	SolverState = core.SolverState
+)
+
+// NewControlService wraps a controller in a slot-loop service. The
+// controller must not be stepped by anyone else afterwards.
+func NewControlService(ctrl *Controller) *ControlService { return serve.New(ctrl) }
+
+// NewControlMetrics registers control-plane instruments under prefix;
+// attach them with ControlService.Instrument.
+func NewControlMetrics(r *TelemetryRegistry, prefix string) *ControlMetrics {
+	return serve.NewMetrics(r, prefix)
+}
+
+// SyntheticSlots synthesizes a deterministic, position-addressable
+// observation stream (cocad's -emit-slots mode).
+func SyntheticSlots(seed uint64, start, count int, peakRPS, onsitePeakKW, offsiteMeanKWh float64) []ControlSlotInput {
+	return serve.SyntheticSlots(seed, start, count, peakRPS, onsitePeakKW, offsiteMeanKWh)
 }

@@ -1,0 +1,63 @@
+// Package cliutil holds flag validation shared by the coca binaries
+// (cocasim, cocad). Each helper returns a usage-shaped error naming the
+// flag, so main can print it and exit 2 without re-deriving the message.
+package cliutil
+
+import (
+	"fmt"
+	"math"
+)
+
+// Workers validates a -workers flag. 0 is the documented "all cores"
+// sentinel and positive values are literal pool sizes; negatives used to
+// fall through the `Workers > 0` check and silently mean "all cores" too,
+// which hid typos like -workers -4.
+func Workers(v int) error {
+	if v < 0 {
+		return fmt.Errorf("-workers must be >= 0 (0 means all cores, 1 means sequential); got %d", v)
+	}
+	return nil
+}
+
+// NonNegativeCount validates a count flag where 0 means "use the default".
+func NonNegativeCount(name string, v int) error {
+	if v < 0 {
+		return fmt.Errorf("%s must be >= 0 (0 means the default); got %d", name, v)
+	}
+	return nil
+}
+
+// PositiveCount validates a count flag that has no zero sentinel.
+func PositiveCount(name string, v int) error {
+	if v <= 0 {
+		return fmt.Errorf("%s must be > 0; got %d", name, v)
+	}
+	return nil
+}
+
+// PositiveFloat requires a finite, strictly positive value.
+func PositiveFloat(name string, v float64) error {
+	if math.IsNaN(v) || math.IsInf(v, 0) || v <= 0 {
+		return fmt.Errorf("%s must be a finite value > 0; got %v", name, v)
+	}
+	return nil
+}
+
+// NonNegativeFloat requires a finite, non-negative value.
+func NonNegativeFloat(name string, v float64) error {
+	if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+		return fmt.Errorf("%s must be a finite value >= 0; got %v", name, v)
+	}
+	return nil
+}
+
+// FirstError returns the first non-nil error, so main can validate a flag
+// block in one expression.
+func FirstError(errs ...error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,67 @@
+package cliutil
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestWorkers(t *testing.T) {
+	for _, ok := range []int{0, 1, 64} {
+		if err := Workers(ok); err != nil {
+			t.Errorf("Workers(%d) = %v", ok, err)
+		}
+	}
+	err := Workers(-4)
+	if err == nil {
+		t.Fatal("Workers(-4) accepted; it used to silently mean all cores")
+	}
+	if !strings.Contains(err.Error(), "-workers") || !strings.Contains(err.Error(), "-4") {
+		t.Errorf("error %q does not name the flag and value", err)
+	}
+}
+
+func TestCounts(t *testing.T) {
+	if err := NonNegativeCount("-slots", 0); err != nil {
+		t.Errorf("zero sentinel rejected: %v", err)
+	}
+	if err := NonNegativeCount("-slots", -24); err == nil {
+		t.Error("negative slot count accepted")
+	}
+	if err := PositiveCount("-checkpoint-every", 0); err == nil {
+		t.Error("zero accepted where no sentinel exists")
+	}
+	if err := PositiveCount("-frames", 13); err != nil {
+		t.Errorf("PositiveCount(13) = %v", err)
+	}
+}
+
+func TestFloats(t *testing.T) {
+	for _, bad := range []float64{0, -1, math.NaN(), math.Inf(1)} {
+		if err := PositiveFloat("-v", bad); err == nil {
+			t.Errorf("PositiveFloat(%v) accepted", bad)
+		}
+	}
+	if err := PositiveFloat("-v", 240); err != nil {
+		t.Errorf("PositiveFloat(240) = %v", err)
+	}
+	if err := NonNegativeFloat("-beta", 0); err != nil {
+		t.Errorf("NonNegativeFloat(0) = %v", err)
+	}
+	for _, bad := range []float64{-0.1, math.NaN(), math.Inf(-1)} {
+		if err := NonNegativeFloat("-beta", bad); err == nil {
+			t.Errorf("NonNegativeFloat(%v) accepted", bad)
+		}
+	}
+}
+
+func TestFirstError(t *testing.T) {
+	if err := FirstError(nil, nil); err != nil {
+		t.Errorf("FirstError(nil, nil) = %v", err)
+	}
+	want := errors.New("boom")
+	if got := FirstError(nil, want, errors.New("later")); got != want {
+		t.Errorf("FirstError returned %v, want the first error", got)
+	}
+}

@@ -1,0 +1,180 @@
+package core
+
+import (
+	"encoding/json"
+	"errors"
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/dcmodel"
+	"repro/internal/gsd"
+	"repro/internal/lyapunov"
+)
+
+func ckptCluster(nGroups int) *dcmodel.Cluster {
+	groups := make([]dcmodel.Group, nGroups)
+	for i := range groups {
+		groups[i] = dcmodel.Group{Type: dcmodel.Opteron(), N: 5}
+	}
+	return &dcmodel.Cluster{Groups: groups, Gamma: 0.95, PUE: 1}
+}
+
+func ckptController(t *testing.T, slots int) *Controller {
+	t.Helper()
+	c, err := NewController(ckptCluster(3), 0.02, lyapunov.ConstantV(5e5, 2, slots/2),
+		1.0, 3.0, &gsd.Solver{Opts: gsd.Options{Delta: 1e4, MaxIters: 200, Seed: 23}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.SwitchCostKWh = 0.231
+	return c
+}
+
+// ckptEnv synthesizes a deterministic slot environment.
+func ckptEnv(t int) (SlotEnv, float64) {
+	ft := float64(t)
+	env := SlotEnv{
+		LambdaRPS:      30 + 15*math.Sin(ft/3),
+		OnsiteKW:       math.Max(0, 2*math.Sin(ft/5)),
+		PriceUSDPerKWh: 0.06 + 0.02*math.Cos(ft/4),
+	}
+	return env, math.Max(0, 1.5+math.Sin(ft/6))
+}
+
+// driveController steps-and-settles the controller over [from, to) and
+// returns the outcomes.
+func driveController(t *testing.T, c *Controller, from, to int) []SlotOutcome {
+	t.Helper()
+	out := make([]SlotOutcome, 0, to-from)
+	for i := from; i < to; i++ {
+		env, offsite := ckptEnv(i)
+		o, err := c.Step(env)
+		if err != nil {
+			t.Fatalf("slot %d: %v", i, err)
+		}
+		c.Settle(o, offsite)
+		out = append(out, o)
+	}
+	return out
+}
+
+// TestControllerCheckpointResumeParity is the acceptance invariant at the
+// controller layer: a run interrupted at slot N and restored through a
+// JSON round-trip produces bit-identical decisions, costs and deficit-queue
+// trajectory to an uninterrupted run.
+func TestControllerCheckpointResumeParity(t *testing.T) {
+	const slots = 12
+
+	want := driveController(t, ckptController(t, slots), 0, slots)
+
+	first := ckptController(t, slots)
+	got := driveController(t, first, 0, slots/2)
+	ck, err := first.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := json.Marshal(ck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var restoredCk ControllerCheckpoint
+	if err := json.Unmarshal(blob, &restoredCk); err != nil {
+		t.Fatal(err)
+	}
+	second := ckptController(t, slots)
+	if err := second.RestoreFrom(restoredCk); err != nil {
+		t.Fatal(err)
+	}
+	if second.Slot() != slots/2 {
+		t.Fatalf("restored slot cursor %d, want %d", second.Slot(), slots/2)
+	}
+	if second.Queue() != first.Queue() {
+		t.Fatalf("restored queue %v, want %v", second.Queue(), first.Queue())
+	}
+	got = append(got, driveController(t, second, slots/2, slots)...)
+
+	if len(got) != len(want) {
+		t.Fatalf("%d outcomes, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if !reflect.DeepEqual(got[i], want[i]) {
+			t.Fatalf("slot %d diverges after restore:\ngot  %+v\nwant %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestControllerScheduleExhausted pins the daemon-facing failure mode: a
+// Step past the schedule horizon returns ErrScheduleExhausted instead of
+// panicking inside VSchedule.
+func TestControllerScheduleExhausted(t *testing.T) {
+	const slots = 4
+	c := ckptController(t, slots)
+	driveController(t, c, 0, slots)
+	env, _ := ckptEnv(slots)
+	if _, err := c.Step(env); !errors.Is(err, ErrScheduleExhausted) {
+		t.Fatalf("Step past horizon = %v, want ErrScheduleExhausted", err)
+	}
+}
+
+func TestControllerCheckpointRejectsInvalid(t *testing.T) {
+	c := ckptController(t, 12)
+	driveController(t, c, 0, 3)
+	valid, err := c.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string]func(*ControllerCheckpoint){
+		"version":     func(ck *ControllerCheckpoint) { ck.Version = 0 },
+		"slot":        func(ck *ControllerCheckpoint) { ck.Slot = -1 },
+		"prev-active": func(ck *ControllerCheckpoint) { ck.PrevActive = -2 },
+		"queue":       func(ck *ControllerCheckpoint) { ck.Queue.Alpha = -1 },
+		"solver-blob": func(ck *ControllerCheckpoint) { ck.Solver = []byte("{") },
+	}
+	for name, mutate := range cases {
+		ck := valid
+		mutate(&ck)
+		if err := ckptController(t, 12).RestoreFrom(ck); err == nil {
+			t.Errorf("%s: RestoreFrom accepted an invalid checkpoint", name)
+		}
+	}
+}
+
+// TestPolicyCheckpointRoundTrip covers the sim-side policy snapshot; the
+// full engine-resume parity lives in internal/simtest.
+func TestPolicyCheckpointRoundTrip(t *testing.T) {
+	p, err := New(Config{
+		Server: dcmodel.Opteron(), N: 50, Gamma: 0.95, PUE: 1, Beta: 0.02,
+		Schedule: lyapunov.ConstantV(5e5, 1, 24), Alpha: 1, RECPerSlotKWh: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.queue.Update(100, 10)
+	p.prevActive, p.pendingActive = 7, 7
+
+	blob, err := json.Marshal(p.Checkpoint())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ck PolicyCheckpoint
+	if err := json.Unmarshal(blob, &ck); err != nil {
+		t.Fatal(err)
+	}
+	q, err := New(Config{
+		Server: dcmodel.Opteron(), N: 50, Gamma: 0.95, PUE: 1, Beta: 0.02,
+		Schedule: lyapunov.ConstantV(5e5, 1, 24), Alpha: 1, RECPerSlotKWh: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := q.RestoreFrom(ck); err != nil {
+		t.Fatal(err)
+	}
+	if q.Queue() != p.Queue() || q.prevActive != 7 || q.pendingActive != 7 {
+		t.Fatalf("restored policy state queue=%v prev=%d pending=%d", q.Queue(), q.prevActive, q.pendingActive)
+	}
+	if err := q.RestoreFrom(PolicyCheckpoint{Version: 2, Queue: ck.Queue}); err == nil {
+		t.Fatal("RestoreFrom accepted an unknown version")
+	}
+}

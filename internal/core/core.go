@@ -22,6 +22,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/dcmodel"
@@ -30,6 +31,10 @@ import (
 	"repro/internal/sim"
 	"repro/internal/telemetry"
 )
+
+// ErrScheduleExhausted is returned by Controller.Step when the slot cursor
+// has moved past the configured V schedule's horizon.
+var ErrScheduleExhausted = errors.New("core: V schedule exhausted")
 
 // Config parameterizes COCA for the homogeneous sim engine.
 type Config struct {
@@ -264,6 +269,12 @@ type SlotOutcome struct {
 // a Step that is never settled (rejected by the caller, retried after a
 // failure) leaves the controller's state untouched.
 func (c *Controller) Step(env SlotEnv) (SlotOutcome, error) {
+	if c.slot >= c.Schedule.Slots() {
+		// A long-running controller must outlive its schedule gracefully:
+		// indexing V past the horizon would panic inside VSchedule.
+		return SlotOutcome{}, fmt.Errorf("core: slot %d beyond the schedule horizon %d: %w",
+			c.slot, c.Schedule.Slots(), ErrScheduleExhausted)
+	}
 	if c.Schedule.FrameStart(c.slot) {
 		c.queue.Reset()
 		if c.queueGauge != nil {

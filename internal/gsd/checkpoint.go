@@ -1,0 +1,71 @@
+package gsd
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// SolverCheckpointVersion is the current SolverCheckpoint schema version.
+const SolverCheckpointVersion = 1
+
+// SolverCheckpoint is the explicit, versioned snapshot of a Solver's
+// cross-slot state: the advancing seed and the warm-start speed vector the
+// next Solve call would use. Restoring it into a Solver built with the same
+// Options reproduces the continuation bit-for-bit — the solver draws no
+// other state between slots.
+type SolverCheckpoint struct {
+	Version int    `json:"version"`
+	Started bool   `json:"started"`        // a first Solve has consumed Opts.Seed
+	Seed    uint64 `json:"seed"`           // seed reserved for the next Solve
+	Warm    []int  `json:"warm,omitempty"` // warm-start speeds from the last solved slot
+}
+
+// Checkpoint snapshots the solver's evolved per-run state. The configured
+// Options are not part of the snapshot: they are construction parameters,
+// owned by whoever builds the solver.
+func (s *Solver) Checkpoint() SolverCheckpoint {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ck := SolverCheckpoint{Version: SolverCheckpointVersion, Started: s.started, Seed: s.seed}
+	if s.warm != nil {
+		ck.Warm = append([]int(nil), s.warm...)
+	}
+	return ck
+}
+
+// RestoreFrom replaces the solver's evolved state with the snapshot. A
+// stale warm vector (wrong group count for a future problem) is harmless:
+// Solve already degrades it to a cold start.
+func (s *Solver) RestoreFrom(ck SolverCheckpoint) error {
+	if ck.Version != SolverCheckpointVersion {
+		return fmt.Errorf("gsd: solver checkpoint version %d, want %d", ck.Version, SolverCheckpointVersion)
+	}
+	for i, k := range ck.Warm {
+		if k < 0 {
+			return fmt.Errorf("gsd: solver checkpoint warm[%d] = %d is negative", i, k)
+		}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.started = ck.Started
+	s.seed = ck.Seed
+	s.warm = nil
+	if ck.Warm != nil {
+		s.warm = append([]int(nil), ck.Warm...)
+	}
+	return nil
+}
+
+// CheckpointState implements the core.SolverState JSON surface.
+func (s *Solver) CheckpointState() ([]byte, error) {
+	return json.Marshal(s.Checkpoint())
+}
+
+// RestoreState implements the core.SolverState JSON surface.
+func (s *Solver) RestoreState(data []byte) error {
+	var ck SolverCheckpoint
+	if err := json.Unmarshal(data, &ck); err != nil {
+		return fmt.Errorf("gsd: solver checkpoint: %w", err)
+	}
+	return s.RestoreFrom(ck)
+}

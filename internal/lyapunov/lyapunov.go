@@ -63,6 +63,44 @@ func (dq *DeficitQueue) Update(gridKWh, offsiteKWh float64) float64 {
 // deficit).
 func (dq *DeficitQueue) Reset() { dq.q = 0 }
 
+// QueueCheckpointVersion is the current QueueCheckpoint schema version.
+const QueueCheckpointVersion = 1
+
+// QueueCheckpoint is the explicit, versioned snapshot of a DeficitQueue:
+// the full queue state as a first-class value. It round-trips through JSON
+// exactly (encoding/json renders float64 at shortest-round-trip precision),
+// so a restored queue continues the Eq. (17) trajectory bit-for-bit.
+type QueueCheckpoint struct {
+	Version int     `json:"version"`
+	Q       float64 `json:"q"`     // current length q(t), kWh
+	Alpha   float64 `json:"alpha"` // capping aggressiveness α
+	Z       float64 `json:"z"`     // per-slot REC allowance z, kWh
+}
+
+// Checkpoint snapshots the queue.
+func (dq *DeficitQueue) Checkpoint() QueueCheckpoint {
+	return QueueCheckpoint{Version: QueueCheckpointVersion, Q: dq.q, Alpha: dq.alpha, Z: dq.z}
+}
+
+// RestoreFrom replaces the queue's state with the snapshot, validating it
+// the same way NewDeficitQueue validates fresh parameters.
+func (dq *DeficitQueue) RestoreFrom(ck QueueCheckpoint) error {
+	if ck.Version != QueueCheckpointVersion {
+		return fmt.Errorf("lyapunov: queue checkpoint version %d, want %d", ck.Version, QueueCheckpointVersion)
+	}
+	if ck.Alpha <= 0 || math.IsNaN(ck.Alpha) {
+		return fmt.Errorf("lyapunov: checkpoint alpha %v must be positive", ck.Alpha)
+	}
+	if ck.Z < 0 || math.IsNaN(ck.Z) {
+		return fmt.Errorf("lyapunov: checkpoint REC allowance %v must be non-negative", ck.Z)
+	}
+	if ck.Q < 0 || math.IsNaN(ck.Q) || math.IsInf(ck.Q, 0) {
+		return fmt.Errorf("lyapunov: checkpoint queue length %v must be finite and non-negative", ck.Q)
+	}
+	dq.q, dq.alpha, dq.z = ck.Q, ck.Alpha, ck.Z
+	return nil
+}
+
 // VSchedule fixes the frame structure of Algorithm 1: the horizon J is
 // split into R frames of T slots (J = R·T) and frame r uses the cost-carbon
 // parameter V_r.

@@ -1,0 +1,147 @@
+package serve
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+
+	"repro/internal/core"
+	"repro/internal/telemetry"
+	"repro/internal/telemetry/span"
+)
+
+// Handler mounts the control-plane endpoints and the telemetry surface on
+// one mux:
+//
+//	POST /decide     — one SlotInput as JSON → one Decision as JSON
+//	POST /ingest     — NDJSON stream of SlotInputs → NDJSON Decisions,
+//	                   flushed per slot so the stream is live-tailable
+//	GET  /state      — the running State document
+//	GET  /checkpoint — the current Checkpoint as JSON
+//	/metrics, /spans, /debug/vars, /debug/pprof — telemetry.Register
+//
+// tr may be nil (no /spans data).
+func (s *Service) Handler(reg *telemetry.Registry, tr *span.Tracer) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/decide", s.handleDecide)
+	mux.HandleFunc("/ingest", s.handleIngest)
+	mux.HandleFunc("/state", s.handleState)
+	mux.HandleFunc("/checkpoint", s.handleCheckpoint)
+	telemetry.Register(mux, reg, tr)
+	return mux
+}
+
+// stepStatus maps a Step error to an HTTP status: malformed observations
+// are the client's fault, an exhausted schedule is a conflict with the
+// configured horizon, and an unsolvable slot (overload, solver failure) is
+// unprocessable.
+func stepStatus(err error) int {
+	switch {
+	case errors.Is(err, ErrBadInput):
+		return http.StatusBadRequest
+	case errors.Is(err, core.ErrScheduleExhausted):
+		return http.StatusConflict
+	default:
+		return http.StatusUnprocessableEntity
+	}
+}
+
+func (s *Service) handleDecide(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST a SlotInput JSON document", http.StatusMethodNotAllowed)
+		return
+	}
+	var in SlotInput
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&in); err != nil {
+		http.Error(w, fmt.Sprintf("malformed slot input: %v", err), http.StatusBadRequest)
+		return
+	}
+	d, err := s.Step(in)
+	if err != nil {
+		http.Error(w, err.Error(), stepStatus(err))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(d)
+}
+
+// handleIngest drives the slot loop over an NDJSON request stream. The
+// first failing slot ends the stream with a trailing NDJSON error record
+// ({"error": ...}); earlier slots stay settled — exactly the semantics of
+// a partially consumed feed before a crash.
+func (s *Service) handleIngest(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST an NDJSON stream of SlotInputs", http.StatusMethodNotAllowed)
+		return
+	}
+	// Decisions stream back while the request body is still being read, so
+	// the connection must run full duplex; without it, the first response
+	// flush makes net/http close the request body mid-stream.
+	rc := http.NewResponseController(w)
+	if err := rc.EnableFullDuplex(); err != nil {
+		http.Error(w, "streaming ingest needs a full-duplex connection", http.StatusInternalServerError)
+		return
+	}
+	out := bufio.NewWriter(w)
+	defer out.Flush()
+	enc := json.NewEncoder(out)
+	flush := func() {
+		out.Flush()
+		_ = rc.Flush()
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	dec := json.NewDecoder(r.Body)
+	for {
+		var in SlotInput
+		if err := dec.Decode(&in); err != nil {
+			if err == io.EOF {
+				return
+			}
+			_ = enc.Encode(map[string]string{"error": fmt.Sprintf("malformed slot input: %v", err)})
+			flush()
+			return
+		}
+		d, err := s.Step(in)
+		if err != nil {
+			_ = enc.Encode(map[string]string{"error": err.Error()})
+			flush()
+			return
+		}
+		if err := enc.Encode(d); err != nil {
+			return
+		}
+		flush()
+	}
+}
+
+func (s *Service) handleState(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET the state document", http.StatusMethodNotAllowed)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(s.State())
+}
+
+func (s *Service) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET the checkpoint document", http.StatusMethodNotAllowed)
+		return
+	}
+	ck, err := s.Checkpoint()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(ck)
+}

@@ -33,8 +33,16 @@ func PublishExpvar(r *Registry) {
 //
 // tr may be nil: a metrics-only process simply has no /spans data.
 func Handler(r *Registry, tr *span.Tracer) http.Handler {
-	PublishExpvar(r)
 	mux := http.NewServeMux()
+	Register(mux, r, tr)
+	return mux
+}
+
+// Register mounts the observability endpoints of Handler onto an existing
+// mux, so a process serving its own API (the cocad control plane) exposes
+// application and telemetry endpoints from one listener.
+func Register(mux *http.ServeMux, r *Registry, tr *span.Tracer) {
+	PublishExpvar(r)
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		if err := r.WriteJSON(w); err != nil {
@@ -59,7 +67,6 @@ func Handler(r *Registry, tr *span.Tracer) http.Handler {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	return mux
 }
 
 // Serve binds addr and serves Handler(r, tr) in the background. It
