@@ -216,7 +216,9 @@ func BenchmarkGeoStep(b *testing.B) {
 				if err != nil {
 					b.Fatal(err)
 				}
-				sys.SetWorkers(workers)
+				if err := sys.SetWorkers(workers); err != nil {
+					b.Fatal(err)
+				}
 				reg := telemetry.NewRegistry()
 				sys.Instrument(telemetry.NewGeoMetrics(reg, "geo"))
 				lambda := 0.4 * sys.TotalCapacityRPS()

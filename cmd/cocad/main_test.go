@@ -182,6 +182,8 @@ func TestRunRejectsBadFlags(t *testing.T) {
 		{"-checkpoint-every", "-1"},
 		{"-groups", "10", "-n", "4"},
 		{"-beta", "NaN"},
+		{"-emit-slots", "-1"},
+		{"-emit-slots", "10", "-emit-start", "-2"},
 	}
 	for _, args := range cases {
 		err := run(context.Background(), args, &bytes.Buffer{}, &bytes.Buffer{}, nil)

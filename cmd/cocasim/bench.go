@@ -72,6 +72,9 @@ type benchReport struct {
 		MemoHitsPerStep float64 `json:"memo_hits_per_step"` // solves the memo table absorbed
 		ResultHash      string  `json:"result_hash"`        // over every step's split + charges
 	} `json:"geo"`
+	// Scale is the -scale fleet grid (see scale.go); empty when -scale was
+	// not given, and compareBench matches its cells by groups×sites.
+	Scale []scaleCell `json:"scale,omitempty"`
 }
 
 // fnvHash folds float64s into an FNV-64a stream as their little-endian
@@ -112,8 +115,9 @@ func fig2ResultHash(res experiments.Fig2Result) string {
 
 // runBench measures the step-wise engine and the parallel sweep and writes
 // the report as JSON to path. The sweep arms feed pool telemetry into reg
-// (nil disables), which main dumps next to the report.
-func runBench(path string, workers int, reg *telemetry.Registry) error {
+// (nil disables), which main dumps next to the report. A non-empty
+// scaleSpec appends the fleet-scale grid section.
+func runBench(path string, workers int, reg *telemetry.Registry, scaleSpec string) error {
 	var rep benchReport
 	rep.Cores = runtime.NumCPU()
 	rep.GOMAXPROCS = runtime.GOMAXPROCS(0)
@@ -232,7 +236,9 @@ func runBench(path string, workers int, reg *telemetry.Registry) error {
 	if err != nil {
 		return err
 	}
-	gsys.SetWorkers(workers)
+	if err := gsys.SetWorkers(workers); err != nil {
+		return err
+	}
 	geoReg := telemetry.NewRegistry()
 	gsys.Instrument(telemetry.NewGeoMetrics(geoReg, "geo"))
 	totalCap := gsys.TotalCapacityRPS()
@@ -260,6 +266,16 @@ func runBench(path string, workers int, reg *telemetry.Registry) error {
 	rep.Geo.P3SolvesPerStep = geoSnap.Counters["geo.p3_solves"] / geoSlots
 	rep.Geo.MemoHitsPerStep = geoSnap.Counters["geo.memo_hits"] / geoSlots
 	rep.Geo.ResultHash = geoHash.sum()
+
+	// Fleet-scale grid: whole-site GSD solves fanned over the worker pool,
+	// parity-checked against the sequential path before timing.
+	if scaleSpec != "" {
+		cells, err := runScale(scaleSpec, workers)
+		if err != nil {
+			return err
+		}
+		rep.Scale = cells
+	}
 
 	buf, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -370,6 +386,28 @@ func compareBench(path, basePath string) error {
 	slower("gsd allocs/solve", fresh.GSD.AllocsPerSolve, base.GSD.AllocsPerSolve)
 	slower("geo ns/step", fresh.Geo.NsPerStep, base.Geo.NsPerStep)
 	slower("geo p3 solves/step", fresh.Geo.P3SolvesPerStep, base.Geo.P3SolvesPerStep)
+	// Scale cells are matched by their groups×sites grid point; a fresh cell
+	// with no baseline counterpart (grid grew, or baseline predates -scale)
+	// is informational only. Hashes are host-independent and get no
+	// tolerance; throughput gets the usual wall-time band.
+	baseCells := make(map[[2]int]scaleCell, len(base.Scale))
+	for _, c := range base.Scale {
+		baseCells[[2]int{c.Groups, c.Sites}] = c
+	}
+	for _, c := range fresh.Scale {
+		bc, ok := baseCells[[2]int{c.Groups, c.Sites}]
+		if !ok {
+			continue
+		}
+		name := fmt.Sprintf("scale %dx%d", c.Groups, c.Sites)
+		if bc.ResultHash != "" && c.ResultHash != bc.ResultHash {
+			problems = append(problems, fmt.Sprintf(
+				"%s result hash changed: %s -> %s (fleet step arithmetic differs from baseline)",
+				name, bc.ResultHash, c.ResultHash))
+		}
+		slower(name+" ns/slot", c.NsPerSlot, bc.NsPerSlot)
+		slower(name+" allocs/slot", c.AllocsPerSlot, bc.AllocsPerSlot)
+	}
 	if len(problems) > 0 {
 		for _, p := range problems {
 			fmt.Fprintf(os.Stderr, "bench regression: %s\n", p)

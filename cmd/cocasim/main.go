@@ -46,6 +46,7 @@ func main() {
 		csvDir  = flag.String("csvdir", "", "write figure data as CSV files into this directory (fig2/fig3 series)")
 		workers = flag.Int("workers", 0, "worker pool for independent runs (0: all cores, 1: sequential; results are identical either way)")
 		bench   = flag.String("bench-json", "", "run the engine/sweep benchmark and write the JSON report to this path, then exit")
+		scale   = flag.String("scale", "", "fleet-scale bench grid as GROUPSxSITES cells (e.g. 200x16,10000x256): parity-check and time geo.Fleet steps; with -bench-json the cells land in the report, alone they print and exit")
 
 		stream      = flag.String("stream", "", "single-run mode: stream one NDJSON record per settled slot to this path (- for stdout)")
 		policy      = flag.String("policy", "coca", "policy for -stream single-run mode: coca|unaware")
@@ -117,7 +118,7 @@ func main() {
 		if *telemJSON == "" {
 			*telemJSON = strings.TrimSuffix(*bench, ".json") + ".telemetry.json"
 		}
-		if err := runBench(*bench, *workers, reg); err != nil {
+		if err := runBench(*bench, *workers, reg, *scale); err != nil {
 			fmt.Fprintf(os.Stderr, "bench failed: %v\n", err)
 			os.Exit(1)
 		}
@@ -128,6 +129,17 @@ func main() {
 				os.Exit(1)
 			}
 		}
+		return
+	}
+
+	if *scale != "" {
+		// Standalone -scale: run the fleet grid and print the throughput
+		// lines without the full benchmark report.
+		if _, err := runScale(*scale, *workers); err != nil {
+			fmt.Fprintf(os.Stderr, "scale bench failed: %v\n", err)
+			os.Exit(1)
+		}
+		finish()
 		return
 	}
 

@@ -1,0 +1,199 @@
+package main
+
+import (
+	"fmt"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/dcmodel"
+	"repro/internal/geo"
+	"repro/internal/gsd"
+	"repro/internal/price"
+	"repro/internal/renewable"
+	"repro/internal/trace"
+)
+
+// The -scale bench: step a geo.Fleet (per-site heterogeneous clusters, one
+// sharded GSD chain each) over a groups×sites grid and report slots/sec
+// throughput, allocations per slot and the FNV-1a result hash. Every cell
+// first runs a sequential-vs-parallel parity check — the fleet's fan-out
+// contract is bit-identical results at any worker count, and the bench
+// refuses to report a throughput number for a cell that broke it.
+
+// scaleCell is one grid point of the -scale section.
+type scaleCell struct {
+	Groups        int     `json:"groups"` // total server groups across the fleet
+	Sites         int     `json:"sites"`
+	Servers       int     `json:"servers"` // total servers across the fleet
+	Slots         int     `json:"slots"`
+	MaxIters      int     `json:"max_iters"` // GSD budget per site solve
+	Workers       int     `json:"workers"`
+	GOMAXPROCS    int     `json:"gomaxprocs"`
+	NsPerSlot     float64 `json:"ns_per_slot"`
+	SlotsPerSec   float64 `json:"slots_per_sec"`
+	AllocsPerSlot float64 `json:"allocs_per_slot"`
+	ResultHash    string  `json:"result_hash"` // over every slot's outcomes + final queues
+}
+
+// scale-bench fixed parameters: the grid spec only varies groups×sites, so
+// cells are comparable across hosts and baselines.
+const (
+	scaleServersPerGroup = 10
+	scaleSlots           = 4
+	scaleParitySlots     = 2
+	scaleMaxIters        = 60
+	scaleSeed            = 2013
+)
+
+// parseScaleSpec parses "200x16,10000x256" into (groups, sites) pairs.
+func parseScaleSpec(spec string) ([][2]int, error) {
+	var grid [][2]int
+	for _, cell := range strings.Split(spec, ",") {
+		cell = strings.TrimSpace(cell)
+		if cell == "" {
+			continue
+		}
+		parts := strings.SplitN(cell, "x", 2)
+		if len(parts) != 2 {
+			return nil, fmt.Errorf("-scale cell %q: want GROUPSxSITES (e.g. 10000x256)", cell)
+		}
+		groups, err := strconv.Atoi(parts[0])
+		if err != nil || groups <= 0 {
+			return nil, fmt.Errorf("-scale cell %q: bad group count", cell)
+		}
+		sites, err := strconv.Atoi(parts[1])
+		if err != nil || sites <= 0 {
+			return nil, fmt.Errorf("-scale cell %q: bad site count", cell)
+		}
+		if groups < sites {
+			return nil, fmt.Errorf("-scale cell %q: fewer groups than sites", cell)
+		}
+		grid = append(grid, [2]int{groups, sites})
+	}
+	if len(grid) == 0 {
+		return nil, fmt.Errorf("-scale %q: no cells", spec)
+	}
+	return grid, nil
+}
+
+// scaleFleetSites builds the deterministic fleet the cell steps: sites
+// heterogeneous clusters of groupsPerSite groups, staggered price levels
+// and renewables — the recipe of the internal/geo fleet parity tests.
+func scaleFleetSites(sites, groupsPerSite, slots int) []geo.FleetSite {
+	out := make([]geo.FleetSite, sites)
+	for i := range out {
+		p := price.CAISOYear(uint64(i + 1))
+		scale := 0.4 + 0.15*float64(i%5)
+		for j := range p.Values {
+			p.Values[j] *= scale
+		}
+		out[i] = geo.FleetSite{
+			Name:    fmt.Sprintf("f%03d", i),
+			Cluster: dcmodel.HeterogeneousCluster(groupsPerSite*scaleServersPerGroup, groupsPerSite),
+			Price:   p,
+			Portfolio: &renewable.Portfolio{
+				OnsiteKW:   trace.Constant("r", float64(i%3), slots),
+				OffsiteKWh: trace.Constant("f", 20, slots),
+				RECsKWh:    float64(slots) * 30,
+				Alpha:      1,
+			},
+		}
+	}
+	return out
+}
+
+// runFleetCell steps a fresh fleet for `slots` slots at the given worker
+// count, folding every outcome and the final queue lengths into an FNV-1a
+// digest, and returns the digest plus the wall time of the stepped loop.
+func runFleetCell(groups, sites, slots, workers int) (string, time.Duration, error) {
+	groupsPerSite := groups / sites
+	f, err := geo.NewFleet(scaleFleetSites(sites, groupsPerSite, slots), 0.005, slots,
+		gsd.Options{Delta: 1e4, MaxIters: scaleMaxIters, Seed: scaleSeed})
+	if err != nil {
+		return "", 0, err
+	}
+	if err := f.SetWorkers(workers); err != nil {
+		return "", 0, err
+	}
+	h := newFnvHash()
+	capRPS := f.TotalCapacityRPS()
+	start := time.Now()
+	for t := 0; t < slots; t++ {
+		lambda := capRPS * (0.15 + 0.5*float64(t)/float64(slots))
+		out, err := f.Step(lambda, 5e5)
+		if err != nil {
+			return "", 0, err
+		}
+		h.floats(out.TotalCostUSD, out.TotalGridKWh)
+		for _, so := range out.Sites {
+			h.floats(so.LoadRPS, float64(so.Active), so.PowerKW,
+				so.GridKWh, so.DelayCost, so.CostUSD, so.Value)
+		}
+		f.Settle(out)
+	}
+	elapsed := time.Since(start)
+	for i := 0; i < sites; i++ {
+		h.floats(f.Queue(i))
+	}
+	return h.sum(), elapsed, nil
+}
+
+// runScale runs the scale grid: per cell a sequential-vs-parallel parity
+// check, then the timed parallel run the reported numbers come from.
+func runScale(spec string, workers int) ([]scaleCell, error) {
+	grid, err := parseScaleSpec(spec)
+	if err != nil {
+		return nil, err
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	cells := make([]scaleCell, 0, len(grid))
+	for _, gk := range grid {
+		groups, sites := gk[0], gk[1]
+		// Parity gate: the parallel fleet step must be bit-identical to the
+		// sequential reference on a short run before its timing counts.
+		seqHash, _, err := runFleetCell(groups, sites, scaleParitySlots, 1)
+		if err != nil {
+			return nil, fmt.Errorf("scale %dx%d: %w", groups, sites, err)
+		}
+		parHash, _, err := runFleetCell(groups, sites, scaleParitySlots, workers)
+		if err != nil {
+			return nil, fmt.Errorf("scale %dx%d: %w", groups, sites, err)
+		}
+		if seqHash != parHash {
+			return nil, fmt.Errorf("scale %dx%d: parallel fleet diverged from sequential: %s vs %s",
+				groups, sites, parHash, seqHash)
+		}
+		var ms0, ms1 runtime.MemStats
+		runtime.ReadMemStats(&ms0)
+		hash, elapsed, err := runFleetCell(groups, sites, scaleSlots, workers)
+		if err != nil {
+			return nil, fmt.Errorf("scale %dx%d: %w", groups, sites, err)
+		}
+		runtime.ReadMemStats(&ms1)
+		groupsPerSite := groups / sites
+		cell := scaleCell{
+			Groups:        groupsPerSite * sites,
+			Sites:         sites,
+			Servers:       groupsPerSite * sites * scaleServersPerGroup,
+			Slots:         scaleSlots,
+			MaxIters:      scaleMaxIters,
+			Workers:       workers,
+			GOMAXPROCS:    runtime.GOMAXPROCS(0),
+			NsPerSlot:     float64(elapsed.Nanoseconds()) / scaleSlots,
+			AllocsPerSlot: float64(ms1.Mallocs-ms0.Mallocs) / scaleSlots,
+			ResultHash:    hash,
+		}
+		if cell.NsPerSlot > 0 {
+			cell.SlotsPerSec = 1e9 / cell.NsPerSlot
+		}
+		cells = append(cells, cell)
+		fmt.Printf("scale %dx%d (%d servers): %.2f slots/sec (%.1f ms/slot, %.0f allocs/slot, %d workers) %s\n",
+			cell.Groups, cell.Sites, cell.Servers, cell.SlotsPerSec,
+			cell.NsPerSlot/1e6, cell.AllocsPerSlot, cell.Workers, cell.ResultHash)
+	}
+	return cells, nil
+}

@@ -1,6 +1,8 @@
 // Package cliutil holds flag validation shared by the coca binaries
-// (cocasim, cocad). Each helper returns a usage-shaped error naming the
-// flag, so main can print it and exit 2 without re-deriving the message.
+// (cocasim, cocad) and, via WorkersFor, the worker-count rule library
+// entry points enforce themselves. Each helper returns a usage-shaped
+// error naming the flag (or owner), so main can print it and exit 2
+// without re-deriving the message.
 package cliutil
 
 import (
@@ -15,6 +17,20 @@ import (
 func Workers(v int) error {
 	if v < 0 {
 		return fmt.Errorf("-workers must be >= 0 (0 means all cores, 1 means sequential); got %d", v)
+	}
+	return nil
+}
+
+// WorkersFor is the Workers rule for library entry points rather than
+// flags: owner names the knob in the message (e.g. "experiments.Config.
+// Workers", "geo.System.SetWorkers"). 0 keeps each caller's documented
+// default (all cores for the experiment pool, sequential for geo) and
+// positives are literal pool sizes; negatives are an error everywhere —
+// they used to silently mean "all cores" in the experiment pool, the bug
+// this helper closes.
+func WorkersFor(owner string, v int) error {
+	if v < 0 {
+		return fmt.Errorf("%s must be >= 0; got %d", owner, v)
 	}
 	return nil
 }

@@ -3,6 +3,7 @@ package dcmodel
 import (
 	"fmt"
 	"math"
+	"sync/atomic"
 )
 
 // Group is a batch of N identical servers that share one speed decision, the
@@ -70,6 +71,9 @@ type Cluster struct {
 	Groups []Group
 	Gamma  float64 // γ ∈ (0,1): per-server max utilization
 	PUE    float64 // ≥ 1; 1 = IT power only (the paper's default)
+
+	// arrays caches the struct-of-arrays view of Groups; see Arrays.
+	arrays atomic.Pointer[ClusterArrays]
 }
 
 // Validate reports whether the cluster is well formed.

@@ -90,9 +90,12 @@ func TestClusterValidateRejectsBadInputs(t *testing.T) {
 		{"empty group", func(c *Cluster) { c.Groups[0].N = 0 }},
 	}
 	for _, tc := range cases {
-		c := *good
-		c.Groups = append([]Group(nil), good.Groups...)
-		tc.mutate(&c)
+		c := &Cluster{
+			Groups: append([]Group(nil), good.Groups...),
+			Gamma:  good.Gamma,
+			PUE:    good.PUE,
+		}
+		tc.mutate(c)
 		if err := c.Validate(); err == nil {
 			t.Errorf("%s: expected error", tc.name)
 		}

@@ -38,7 +38,9 @@ type CappingResult struct {
 // our model and taking the REC parameter Z as the desired total energy
 // cap".
 func Capping(cfg Config) (CappingResult, error) {
-	cfg.fill()
+	if err := cfg.fill(); err != nil {
+		return CappingResult{}, err
+	}
 	sc, _, err := simtest.Build(simtest.Options{
 		Slots: cfg.Slots, N: cfg.N, PeakRPS: cfg.PeakRPS, Beta: cfg.Beta,
 		BudgetFrac: cfg.Budget, OnsiteFrac: 0.20, Seed: cfg.Seed,
@@ -93,7 +95,9 @@ type LookaheadPoint struct {
 // optimum is non-increasing in T, and with it the Theorem 2 cost bound
 // tightens. It also reports COCA's measured cost against each bound.
 func LookaheadSweep(cfg Config, windows []int) ([]LookaheadPoint, float64, error) {
-	cfg.fill()
+	if err := cfg.fill(); err != nil {
+		return nil, 0, err
+	}
 	if len(windows) == 0 {
 		// Divisors of the 8760-hour year: 1 day, 2.5 days, 5 days, ~2 months.
 		windows = []int{24, 60, 120, 1460}
@@ -162,7 +166,9 @@ type FrameResetResult struct {
 // retuned; without resets, deficit accumulated under an early small V
 // keeps throttling later frames.
 func FrameResetAblation(cfg Config) (FrameResetResult, error) {
-	cfg.fill()
+	if err := cfg.fill(); err != nil {
+		return FrameResetResult{}, err
+	}
 	sc, _, err := cfg.Scenario(false)
 	if err != nil {
 		return FrameResetResult{}, err
@@ -247,7 +253,9 @@ type TariffResult struct {
 // inclining-block tariff whose second block starts near the flat-run
 // median draw. COCA internalizes the convex cost and shaves its peaks.
 func TariffStudy(cfg Config) (TariffResult, error) {
-	cfg.fill()
+	if err := cfg.fill(); err != nil {
+		return TariffResult{}, err
+	}
 	sc, _, err := cfg.Scenario(false)
 	if err != nil {
 		return TariffResult{}, err
@@ -307,7 +315,9 @@ type GreenBatchResult struct {
 // deferrable batch stream (EDF) into the spare cycles of the servers COCA
 // already powered on — the §2.3 batch-queue isolation made concrete.
 func GreenBatch(cfg Config) (GreenBatchResult, error) {
-	cfg.fill()
+	if err := cfg.fill(); err != nil {
+		return GreenBatchResult{}, err
+	}
 	sc, _, err := cfg.Scenario(false)
 	if err != nil {
 		return GreenBatchResult{}, err

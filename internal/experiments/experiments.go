@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"io"
 
+	"repro/internal/cliutil"
 	"repro/internal/core"
 	"repro/internal/lyapunov"
 	"repro/internal/sim"
@@ -68,7 +69,14 @@ func Default() Config {
 	}
 }
 
-func (c *Config) fill() {
+// fill applies the paper-scale defaults and validates the fields a zero
+// value does not cover. A negative Workers used to slip through workers()'
+// `> 0` check and silently mean "all cores"; library callers now get the
+// same explicit cliutil error the CLI raises for -workers.
+func (c *Config) fill() error {
+	if err := cliutil.WorkersFor("experiments.Config.Workers", c.Workers); err != nil {
+		return err
+	}
 	d := Default()
 	if c.Slots == 0 {
 		c.Slots = d.Slots
@@ -92,6 +100,7 @@ func (c *Config) fill() {
 	if c.VGrid == nil {
 		c.VGrid = defaultVGrid(c.N)
 	}
+	return nil
 }
 
 // defaultVGrid scales the sweep with fleet size: the interesting V range
@@ -110,7 +119,9 @@ func defaultVGrid(n int) []float64 {
 // MSR-like workload of Fig. 1(b)/5(b) instead of the FIU-like default.
 // It returns the scenario and the carbon-unaware reference grid usage.
 func (c Config) Scenario(msr bool) (*sim.Scenario, float64, error) {
-	c.fill()
+	if err := c.fill(); err != nil {
+		return nil, 0, err
+	}
 	return simtest.Build(simtest.Options{
 		Slots:      c.Slots,
 		N:          c.N,

@@ -19,6 +19,20 @@ func smallConfig() Config {
 	}
 }
 
+// TestNegativeWorkersRejected pins the library-side rule: a negative
+// Workers is an explicit error at every driver entry point, not a silent
+// all-cores fallback (which is what workers()'s `> 0` check used to do).
+func TestNegativeWorkersRejected(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Workers = -2
+	if _, err := Fig2(cfg); err == nil || !strings.Contains(err.Error(), "experiments.Config.Workers") {
+		t.Fatalf("Fig2 with Workers=-2 = %v, want named cliutil error", err)
+	}
+	if _, _, err := cfg.Scenario(false); err == nil || !strings.Contains(err.Error(), "experiments.Config.Workers") {
+		t.Fatalf("Scenario with Workers=-2 = %v, want named cliutil error", err)
+	}
+}
+
 func TestDefaultsMatchPaperSetup(t *testing.T) {
 	d := Default()
 	if d.N != 216000 || d.Slots != 8760 || d.PeakRPS != 1.1e6 || d.Budget != 0.92 {
@@ -28,7 +42,9 @@ func TestDefaultsMatchPaperSetup(t *testing.T) {
 
 func TestConfigFillScalesPeak(t *testing.T) {
 	c := Config{N: 21600}
-	c.fill()
+	if err := c.fill(); err != nil {
+		t.Fatal(err)
+	}
 	if math.Abs(c.PeakRPS-1.1e5) > 1e-6 {
 		t.Errorf("scaled peak = %v, want 1.1e5", c.PeakRPS)
 	}
@@ -234,7 +250,9 @@ func TestPortfolioMixInsensitivity(t *testing.T) {
 
 func TestTuneVStaysWithinBudget(t *testing.T) {
 	cfg := smallConfig()
-	cfg.fill()
+	if err := cfg.fill(); err != nil {
+		t.Fatal(err)
+	}
 	sc, _, err := cfg.Scenario(false)
 	if err != nil {
 		t.Fatal(err)

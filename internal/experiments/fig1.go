@@ -20,7 +20,9 @@ type Fig1Result struct {
 
 // Fig1 synthesizes and characterizes the two workload traces.
 func Fig1(cfg Config) (Fig1Result, error) {
-	cfg.fill()
+	if err := cfg.fill(); err != nil {
+		return Fig1Result{}, err
+	}
 	fiu := trace.FIUYear(cfg.Seed)
 	msr := trace.MSRWeek(cfg.Seed)
 

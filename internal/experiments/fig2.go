@@ -30,7 +30,9 @@ type Fig2Result struct {
 // Fig2 sweeps constant V (Fig. 2a,b) and runs a quarterly-varying V
 // schedule (Fig. 2c,d).
 func Fig2(cfg Config) (Fig2Result, error) {
-	cfg.fill()
+	if err := cfg.fill(); err != nil {
+		return Fig2Result{}, err
+	}
 	sc, _, err := cfg.Scenario(false)
 	if err != nil {
 		return Fig2Result{}, err

@@ -26,7 +26,9 @@ type Fig3Result struct {
 
 // Fig3 runs the head-to-head comparison of §5.2.2.
 func Fig3(cfg Config) (Fig3Result, error) {
-	cfg.fill()
+	if err := cfg.fill(); err != nil {
+		return Fig3Result{}, err
+	}
 	sc, _, err := cfg.Scenario(false)
 	if err != nil {
 		return Fig3Result{}, err

@@ -31,7 +31,9 @@ type Fig4Result struct {
 // 1500th time slot (but without considering the queue length)" on a
 // 200-group cluster.
 func Fig4(cfg Config) (Fig4Result, error) {
-	cfg.fill()
+	if err := cfg.fill(); err != nil {
+		return Fig4Result{}, err
+	}
 	sc, _, err := cfg.Scenario(false)
 	if err != nil {
 		return Fig4Result{}, err

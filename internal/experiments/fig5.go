@@ -33,7 +33,9 @@ type Fig5Result struct {
 
 // Fig5 runs the four sensitivity studies of §5.2.4.
 func Fig5(cfg Config) (Fig5Result, error) {
-	cfg.fill()
+	if err := cfg.fill(); err != nil {
+		return Fig5Result{}, err
+	}
 	var res Fig5Result
 	var err error
 	res.BudgetSweepFIU, err = budgetSweep(cfg, false)
@@ -196,7 +198,9 @@ func switchSweep(cfg Config) ([]float64, []float64, error) {
 // reports < 1% change). It returns the normalized cost at each off-site
 // share.
 func PortfolioMixStudy(cfg Config) ([]float64, []float64, error) {
-	cfg.fill()
+	if err := cfg.fill(); err != nil {
+		return nil, nil, err
+	}
 	shares := []float64{0.0, 0.2, 0.4, 0.6, 0.8}
 	sc, refGrid, err := cfg.Scenario(false)
 	if err != nil {

@@ -28,7 +28,9 @@ type GeoResult struct {
 // carbon-deficit queues steering the split (the geographical-load-balancing
 // setting of the paper's refs [21][29][32], driven by COCA's machinery).
 func GeoStudy(cfg Config) (GeoResult, error) {
-	cfg.fill()
+	if err := cfg.fill(); err != nil {
+		return GeoResult{}, err
+	}
 	slots := cfg.Slots
 	perSiteN := cfg.N / 3
 	if perSiteN < 50 {

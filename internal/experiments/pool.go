@@ -9,7 +9,10 @@ import (
 )
 
 // workers resolves the configured fan-out: Workers > 0 is taken literally
-// (1 = strictly sequential), 0 defaults to all cores.
+// (1 = strictly sequential), 0 defaults to all cores. Negative values never
+// reach this point — fill() rejects them with an explicit cliutil error at
+// every driver entry — so the `> 0` check here is only the 0-means-default
+// rule, not a silent clamp.
 func (c Config) workers() int {
 	if c.Workers > 0 {
 		return c.Workers

@@ -25,7 +25,9 @@ type PredictionPoint struct {
 // paper assumes the 48-hour predictions are perfect and notes longer
 // horizons "exhibit large errors"; this study quantifies the erosion.
 func PredictionErrorStudy(cfg Config) ([]PredictionPoint, sim.Summary, error) {
-	cfg.fill()
+	if err := cfg.fill(); err != nil {
+		return nil, sim.Summary{}, err
+	}
 	sc, _, err := cfg.Scenario(false)
 	if err != nil {
 		return nil, sim.Summary{}, err
@@ -96,7 +98,9 @@ type DelayValidationPoint struct {
 // speed), comparing measured mean jobs-in-system against Eq. (4). It
 // returns the points and the mean absolute relative error.
 func DelayValidation(cfg Config, samples int) ([]DelayValidationPoint, float64, error) {
-	cfg.fill()
+	if err := cfg.fill(); err != nil {
+		return nil, 0, err
+	}
 	if samples <= 0 {
 		samples = 12
 	}

@@ -67,7 +67,9 @@ func TestDelayValidation(t *testing.T) {
 
 func TestRenewableShareSeries(t *testing.T) {
 	cfg := smallConfig()
-	cfg.fill()
+	if err := cfg.fill(); err != nil {
+		t.Fatal(err)
+	}
 	sc, _, err := cfg.Scenario(false)
 	if err != nil {
 		t.Fatal(err)

@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/cliutil"
 	"repro/internal/dcmodel"
 	"repro/internal/lyapunov"
 	"repro/internal/p3"
@@ -95,13 +96,22 @@ func (sys *System) SetTracer(tr *span.Tracer) { sys.tracer = tr }
 func (sys *System) Instrument(m *telemetry.GeoMetrics) { sys.metrics = m }
 
 // SetWorkers bounds the split evaluator's fan-out: n > 1 evaluates P3
-// candidates on up to n goroutines with a deterministic lowest-index
-// argmin reduction, so the split is bit-identical to the sequential path
-// whatever the scheduling. n <= 1 (the default) stays sequential — unlike
+// candidates (and ProportionalSplit's per-site solves) on up to n
+// goroutines with a deterministic lowest-index argmin/error reduction, so
+// results are bit-identical to the sequential path whatever the
+// scheduling. n in {0, 1} stays sequential — unlike
 // experiments.Config.Workers, zero does NOT mean all cores, because geo
 // systems are routinely stepped inside already-pooled experiment workers
-// and must not oversubscribe by default.
-func (sys *System) SetWorkers(n int) { sys.splitWorkers = n }
+// and must not oversubscribe by default. Negative n is an explicit error
+// (the rule cliutil.WorkersFor enforces across the repository; negatives
+// used to be silently accepted as sequential here).
+func (sys *System) SetWorkers(n int) error {
+	if err := cliutil.WorkersFor("geo.System.SetWorkers", n); err != nil {
+		return err
+	}
+	sys.splitWorkers = n
+	return nil
+}
 
 // workers resolves the effective split fan-out.
 func (sys *System) workers() int {
@@ -324,20 +334,26 @@ func (sys *System) Settle(out StepOutcome) {
 // ProportionalSplit is the carbon- and price-blind baseline: load shares
 // proportional to site capacity. It returns the same outcome structure so
 // runs are directly comparable, and shares Step's validateLoad guards
-// (horizon, negative load, capacity).
+// (horizon, negative load, capacity). The per-site solves fan across the
+// SetWorkers pool — each site writes only its own outcome slot, errors
+// reduce to the lowest site index, and totals accumulate sequentially in
+// site order, so every pool width produces bit-identical results.
 func (sys *System) ProportionalSplit(lambda float64, v float64) (StepOutcome, error) {
 	if err := sys.validateLoad(lambda); err != nil {
 		return StepOutcome{}, err
 	}
 	total := sys.TotalCapacityRPS()
-	out := StepOutcome{Sites: make([]SiteOutcome, len(sys.Sites))}
-	for i := range sys.Sites {
+	k := len(sys.Sites)
+	out := StepOutcome{Sites: make([]SiteOutcome, k)}
+	errs := make([]error, k)
+	fanEval(sys.workers(), k, func(i int) {
 		mu := lambda * sys.Sites[i].CapacityRPS() / total
 		so := SiteOutcome{LoadRPS: mu}
 		if mu > 0 {
 			sol, err := sys.siteProblem(i, v, mu).Solve()
 			if err != nil {
-				return StepOutcome{}, err
+				errs[i] = err
+				return
 			}
 			so.Speed, so.Active = sol.Speed, sol.Active
 			ch := sys.siteLedger(i).Charge(sol.PowerKW, sol.DelayCost, 0)
@@ -345,8 +361,13 @@ func (sys *System) ProportionalSplit(lambda float64, v float64) (StepOutcome, er
 			so.CostUSD = ch.TotalUSD
 		}
 		out.Sites[i] = so
-		out.TotalCostUSD += so.CostUSD
-		out.TotalGridKWh += so.GridKWh
+	})
+	for i := 0; i < k; i++ {
+		if errs[i] != nil {
+			return StepOutcome{}, errs[i]
+		}
+		out.TotalCostUSD += out.Sites[i].CostUSD
+		out.TotalGridKWh += out.Sites[i].GridKWh
 	}
 	return out, nil
 }

@@ -4,10 +4,9 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"sync"
-	"sync/atomic"
 
 	"repro/internal/p3"
+	"repro/internal/workpool"
 )
 
 // This file is the geo split hot path: the memoized, incremental and
@@ -154,34 +153,9 @@ func (sys *System) greedySplit(lambda, v float64) (splitPlan, error) {
 	return plan, nil
 }
 
-// fanEval runs eval(0..n-1) on up to `workers` goroutines, following the
-// internal/experiments pool discipline: an atomic work counter, each job
-// writing only its own slot, no result ordering dependence. workers <= 1
-// degrades to the plain sequential loop.
+// fanEval runs eval(0..n-1) on up to `workers` goroutines via the shared
+// bounded pool: each job writes only its own slot, so results carry no
+// ordering dependence. workers <= 1 degrades to the plain sequential loop.
 func fanEval(workers, n int, eval func(int)) {
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 || n <= 1 {
-		for i := 0; i < n; i++ {
-			eval(i)
-		}
-		return
-	}
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= n {
-					return
-				}
-				eval(i)
-			}
-		}()
-	}
-	wg.Wait()
+	workpool.Fan(workers, n, eval)
 }

@@ -81,7 +81,9 @@ func TestGoldenSplitParity(t *testing.T) {
 				return sys
 			}
 			naiveSys, memoSys, parSys := mk(), mk(), mk()
-			parSys.SetWorkers(4)
+			if err := parSys.SetWorkers(4); err != nil {
+				t.Fatal(err)
+			}
 			hn, hm, hp := fnv.New64a(), fnv.New64a(), fnv.New64a()
 			cap := naiveSys.TotalCapacityRPS()
 			for tt := 0; tt < slots; tt++ {
@@ -182,7 +184,9 @@ func TestStepParallelConcurrency(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	parSys.SetWorkers(32)
+	if err := parSys.SetWorkers(32); err != nil {
+		t.Fatal(err)
+	}
 	capRPS := seqSys.TotalCapacityRPS()
 	for tt := 0; tt < slots; tt++ {
 		lambda := capRPS * (0.1 + 0.08*float64(tt))
@@ -346,7 +350,9 @@ func benchGeoSystem(b *testing.B, k, workers int) (*System, float64) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	sys.SetWorkers(workers)
+	if err := sys.SetWorkers(workers); err != nil {
+		b.Fatal(err)
+	}
 	return sys, 0.4 * sys.TotalCapacityRPS()
 }
 

@@ -156,8 +156,17 @@ func safeInv(g float64) float64 {
 type proposalCache struct {
 	stride  int // max speeds-per-group + 1
 	epoch   uint64
-	entries []cacheEntry
+	entries []cacheEntry // nil when the memo is disabled (see maxCacheFloats)
 }
+
+// maxCacheFloats bounds the memo's worst-case retained memory: every entry
+// keeps a cluster-sized load buffer across epochs, so a full cache holds
+// groups²·stride floats — fine at the 200-group experiment scale (~2 MB),
+// catastrophic at a 10k-group fleet site (~5 TB). Past the bound the memo is
+// disabled and every repeated proposal is re-solved; the solver is
+// deterministic and draws no randomness, so the chain is bit-for-bit
+// identical either way.
+const maxCacheFloats = 8 << 20 // 8M float64s ≈ 64 MB retained worst case
 
 type cacheEntry struct {
 	epoch  uint64 // valid iff equal to the cache's current epoch
@@ -173,16 +182,19 @@ func newProposalCache(c *dcmodel.Cluster) proposalCache {
 			stride = n
 		}
 	}
-	return proposalCache{
-		stride:  stride,
-		epoch:   1,
-		entries: make([]cacheEntry, len(c.Groups)*stride),
+	pc := proposalCache{stride: stride, epoch: 1}
+	if n := len(c.Groups); n*stride*n <= maxCacheFloats {
+		pc.entries = make([]cacheEntry, n*stride)
 	}
+	return pc
 }
 
 // lookup returns the entry for proposal (g, k) if it was evaluated against
 // the current incumbent, nil otherwise.
 func (c *proposalCache) lookup(g, k int) *cacheEntry {
+	if c.entries == nil {
+		return nil
+	}
 	e := &c.entries[g*c.stride+k]
 	if e.epoch != c.epoch {
 		return nil
@@ -191,6 +203,9 @@ func (c *proposalCache) lookup(g, k int) *cacheEntry {
 }
 
 func (c *proposalCache) store(g, k int, failed bool, value float64, load []float64) {
+	if c.entries == nil {
+		return
+	}
 	e := &c.entries[g*c.stride+k]
 	e.epoch, e.failed, e.value = c.epoch, failed, value
 	e.load = append(e.load[:0], load...)

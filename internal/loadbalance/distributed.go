@@ -3,9 +3,9 @@ package loadbalance
 import (
 	"errors"
 	"math"
-	"sync"
 
 	"repro/internal/dcmodel"
+	"repro/internal/workpool"
 )
 
 // ErrNeedsDelayWeight is returned by SolveDistributed when Wd = 0: with no
@@ -13,84 +13,42 @@ import (
 // price-only protocol cannot break ties; use the centralized Solve instead.
 var ErrNeedsDelayWeight = errors.New("loadbalance: distributed solver requires Wd > 0")
 
-// priceQuery is the dual-decomposition message: the coordinator announces an
-// electricity weight ω and a load price ν, and the addressed server group
-// answers with the load it would accept at that price together with its
-// remaining γ-cap headroom.
-type priceQuery struct {
-	omega, nu float64
-	reply     chan<- priceResponse
-}
-
-type priceResponse struct {
-	agent int
-	load  float64
-	cap   float64
-}
-
-// agentLoop is one autonomous server group. It knows only its own
-// parameters; all coordination happens through price signals, mirroring the
-// dual-decomposition structure the paper references ([5], [27]).
-func (in *Instance) agentLoop(agent int, queries <-chan priceQuery) {
-	g := in.groups[agent]
-	for q := range queries {
-		q.reply <- priceResponse{
-			agent: agent,
-			load:  in.alloc(g, q.omega, q.nu),
-			cap:   g.cap,
-		}
-	}
-}
-
 // distCoordinator drives bisection on the dual price by broadcasting
-// price queries to agents and aggregating their responses.
+// (ω, ν) price signals to the server groups and aggregating their replies.
+// Each group is an autonomous agent: it answers a price query from nothing
+// but its own parameters, mirroring the dual-decomposition structure the
+// paper references ([5], [27]). The agents used to be one goroutine each;
+// at fleet scale (10k+ groups per site) that is 10k parked goroutines per
+// solve, so a round now fans the queries across a bounded worker pool —
+// every agent writes only its own reply slot, so the aggregate (summed in
+// agent-index order) is identical under any schedule, including the
+// sequential workers <= 1 path.
 type distCoordinator struct {
 	in      *Instance
-	queries []chan priceQuery
-	wg      sync.WaitGroup
-	rounds  int // broadcast rounds executed (the protocol's message cost)
+	workers int       // pool width for a broadcast round; <=1 sequential
+	loads   []float64 // per-agent reply: load accepted at the announced price
+	rounds  int       // broadcast rounds executed (the protocol's message cost)
 }
 
-func newDistCoordinator(in *Instance) *distCoordinator {
-	d := &distCoordinator{in: in, queries: make([]chan priceQuery, len(in.groups))}
-	for i := range in.groups {
-		ch := make(chan priceQuery, 1)
-		d.queries[i] = ch
-		d.wg.Add(1)
-		go func(agent int) {
-			defer d.wg.Done()
-			in.agentLoop(agent, ch)
-		}(i)
+func newDistCoordinator(in *Instance, workers int) *distCoordinator {
+	return &distCoordinator{
+		in:      in,
+		workers: workers,
+		loads:   make([]float64, len(in.gIdx)),
 	}
-	return d
 }
 
-func (d *distCoordinator) stop() {
-	for _, ch := range d.queries {
-		close(ch)
-	}
-	d.wg.Wait()
-}
-
-// round broadcasts one (ω, ν) price and gathers every agent's response.
-func (d *distCoordinator) round(omega, nu float64) []priceResponse {
+// round broadcasts one (ω, ν) price and gathers every agent's response into
+// the coordinator's reply slots, returning their agent-index-ordered sum.
+func (d *distCoordinator) round(omega, nu float64) float64 {
 	d.rounds++
-	replies := make(chan priceResponse, len(d.queries))
-	for _, ch := range d.queries {
-		ch <- priceQuery{omega: omega, nu: nu, reply: replies}
-	}
-	out := make([]priceResponse, len(d.queries))
-	for range d.queries {
-		r := <-replies
-		out[r.agent] = r
-	}
-	return out
-}
-
-func sumLoads(rs []priceResponse) float64 {
+	in := d.in
+	workpool.Fan(d.workers, len(d.loads), func(agent int) {
+		d.loads[agent] = in.alloc(agent, omega, nu)
+	})
 	var s float64
-	for _, r := range rs {
-		s += r.load
+	for _, l := range d.loads {
+		s += l
 	}
 	return s
 }
@@ -100,11 +58,12 @@ func sumLoads(rs []priceResponse) float64 {
 // one broadcast round. It implements the filler interface solveWith drives;
 // dst is reused when large enough.
 func (d *distCoordinator) fillInto(dst []float64, omega float64) ([]float64, error) {
+	n := len(d.in.gIdx)
 	loads := dst
-	if cap(loads) < len(d.in.groups) {
-		loads = make([]float64, len(d.in.groups))
+	if cap(loads) < n {
+		loads = make([]float64, n)
 	}
-	loads = loads[:len(d.in.groups)]
+	loads = loads[:n]
 	target := d.in.prob.LambdaRPS
 	if target == 0 {
 		for i := range loads {
@@ -114,36 +73,36 @@ func (d *distCoordinator) fillInto(dst []float64, omega float64) ([]float64, err
 	}
 	nuLo, nuHi := 0.0, 1.0
 	for iter := 0; iter < 200; iter++ {
-		if sumLoads(d.round(omega, nuHi)) >= target {
+		if d.round(omega, nuHi) >= target {
 			break
 		}
 		nuLo = nuHi
 		nuHi *= 2
 	}
-	var last []priceResponse
+	solved := false
 	for iter := 0; iter < 200 && nuHi-nuLo > 1e-12*(1+nuHi); iter++ {
 		mid := nuLo + (nuHi-nuLo)/2
-		last = d.round(omega, mid)
-		if sumLoads(last) < target {
+		solved = true
+		if d.round(omega, mid) < target {
 			nuLo = mid
 		} else {
 			nuHi = mid
 		}
 	}
-	if last == nil {
-		last = d.round(omega, nuHi)
+	if !solved {
+		d.round(omega, nuHi)
 	}
 	var got float64
-	for i, r := range last {
-		loads[i] = r.load
-		got += r.load
+	for i, l := range d.loads {
+		loads[i] = l
+		got += l
 	}
-	// Repair the bisection residual against the caps reported by agents.
+	// Repair the bisection residual against the agents' γ-cap headroom.
 	resid := target - got
 	for pass := 0; pass < 4 && math.Abs(resid) > waterFillTol; pass++ {
-		for i, r := range last {
+		for i := range loads {
 			if resid > 0 {
-				delta := math.Min(r.cap-loads[i], resid)
+				delta := math.Min(d.in.gCap[i]-loads[i], resid)
 				loads[i] += delta
 				resid -= delta
 			} else {
@@ -163,9 +122,9 @@ func (d *distCoordinator) fillInto(dst []float64, omega float64) ([]float64, err
 }
 
 // SolveDistributed computes the same optimum as Solve but via the
-// dual-decomposition message-passing protocol: one goroutine per server
-// group, coordination only through price broadcasts. The regime analysis on
-// the [·]^+ kink is identical to the centralized path.
+// dual-decomposition price protocol: every server group answers price
+// broadcasts from its own parameters only. The regime analysis on the [·]^+
+// kink is identical to the centralized path.
 func SolveDistributed(p *dcmodel.SlotProblem, speeds []int) (dcmodel.Solution, error) {
 	sol, _, err := SolveDistributedCounted(p, speeds)
 	return sol, err
@@ -176,6 +135,15 @@ func SolveDistributed(p *dcmodel.SlotProblem, speeds []int) (dcmodel.Solution, e
 // expansion plus bisection, summed over every ω the outer search tried) —
 // the message cost a real deployment would pay per load split.
 func SolveDistributedCounted(p *dcmodel.SlotProblem, speeds []int) (dcmodel.Solution, int, error) {
+	return SolveDistributedWorkers(p, speeds, 1)
+}
+
+// SolveDistributedWorkers is SolveDistributedCounted with the agent replies
+// of each broadcast round fanned across up to `workers` goroutines.
+// workers <= 1 runs rounds sequentially; every width produces bit-for-bit
+// the same solution and round count, since agents only ever write their own
+// reply slot and the coordinator aggregates in agent-index order.
+func SolveDistributedWorkers(p *dcmodel.SlotProblem, speeds []int, workers int) (dcmodel.Solution, int, error) {
 	if p.Wd <= 0 {
 		return dcmodel.Solution{}, 0, ErrNeedsDelayWeight
 	}
@@ -183,8 +151,7 @@ func SolveDistributedCounted(p *dcmodel.SlotProblem, speeds []int) (dcmodel.Solu
 	if err != nil {
 		return dcmodel.Solution{}, 0, err
 	}
-	d := newDistCoordinator(in)
-	defer d.stop()
+	d := newDistCoordinator(in, workers)
 	loads, err := in.solveWith(d)
 	if err != nil {
 		return dcmodel.Solution{}, d.rounds, err

@@ -14,14 +14,20 @@
 //
 // Two solvers are provided: Solve, a single-coordinator KKT water-filling
 // solver, and SolveDistributed, a dual-decomposition implementation in which
-// every server group runs as an autonomous goroutine answering price signals
-// (the distributed solution the paper points to via refs [5] and [27]).
+// every server group answers price signals autonomously (the distributed
+// solution the paper points to via refs [5] and [27]).
 //
 // An Instance is mutable: SetSpeed applies a single-group speed change and
 // Revert undoes it, so an iterative caller (the GSD engine proposes one
 // coordinate change per Gibbs iteration) keeps one persistent Instance and
 // pays a delta update plus an allocation-free SolveInto per proposal instead
 // of rebuilding the subproblem 200·n times per slot.
+//
+// The per-group constants live in a struct-of-arrays layout (parallel
+// gIdx/gN/gRate/gSlope/gCap slices over the on groups, backed by the
+// cluster's cached dcmodel.ClusterArrays): the water-fill and sweep inner
+// loops walk flat float64 arrays instead of pointer-chasing group structs,
+// which keeps them cache-linear at fleet scale (10k+ groups per site).
 package loadbalance
 
 import (
@@ -38,8 +44,9 @@ import (
 // given speed configuration.
 var ErrInfeasible = errors.New("loadbalance: load exceeds configuration capacity")
 
-// group holds the precomputed per-group constants of the subproblem.
-// Off groups (speed 0) are excluded from instances entirely.
+// group is one on-group's precomputed constants gathered back into a struct —
+// the undo snapshot unit for SetSpeed/Revert. The live state is the
+// Instance's parallel slices; entry/setEntry convert between the two views.
 type group struct {
 	idx     int     // index into the cluster's group list
 	n       float64 // number of servers
@@ -48,17 +55,17 @@ type group struct {
 	cap     float64 // γ·R: maximum allowed load
 }
 
-// makeGroup builds the prepared constants for cluster group g at speed k > 0,
-// with exactly the arithmetic NewInstance has always used.
-func makeGroup(p *dcmodel.SlotProblem, g, k int) group {
-	grp := &p.Cluster.Groups[g]
-	r := grp.RateAt(k)
+// makeGroup builds the prepared constants for cluster group g at speed k > 0
+// from the cluster's flat arrays, with exactly the arithmetic NewInstance has
+// always used (the arrays store RateAt/PowerSlopeKWPerRPS values verbatim).
+func (in *Instance) makeGroup(g, k int) group {
+	r := in.arr.Rate(g, k)
 	return group{
 		idx:     g,
-		n:       float64(grp.N),
+		n:       in.arr.N[g],
 		rate:    r,
-		slopeKW: p.Cluster.PUE * grp.PowerSlopeKWPerRPS(k),
-		cap:     p.Cluster.Gamma * r,
+		slopeKW: in.prob.Cluster.PUE * in.arr.Slope(g, k),
+		cap:     in.prob.Cluster.Gamma * r,
 	}
 }
 
@@ -81,7 +88,7 @@ type undoRecord struct {
 	kind    undoKind
 	g       int   // cluster group the mutation touched
 	oldK    int   // its previous speed index
-	pos     int   // position in groups the mutation touched
+	pos     int   // position in the on-group slices the mutation touched
 	entry   group // the displaced entry (modify/remove)
 	baseKW  float64
 	capSum  float64
@@ -91,19 +98,44 @@ type undoRecord struct {
 // fillSystem adapts an Instance to numopt.WaterSystem for one electricity
 // weight ω without allocating: the instance owns a single fillSystem and
 // rewrites omega per fill, and the pointer passed as the interface is the
-// already-heap-resident field, so no per-fill boxing occurs.
+// already-heap-resident field, so no per-fill boxing occurs. It also
+// implements numopt.BulkWaterSystem, so the water-filling inner loops run
+// over the instance's flat arrays without a per-item interface call.
 type fillSystem struct {
 	in    *Instance
 	omega float64
 }
 
-func (s *fillSystem) Items() int        { return len(s.in.groups) }
-func (s *fillSystem) Cap(i int) float64 { return s.in.groups[i].cap }
+func (s *fillSystem) Items() int        { return len(s.in.gIdx) }
+func (s *fillSystem) Cap(i int) float64 { return s.in.gCap[i] }
 func (s *fillSystem) Deriv(i int, v float64) float64 {
-	return s.in.marginal(s.in.groups[i], s.omega, v)
+	return s.in.marginal(i, s.omega, v)
 }
 func (s *fillSystem) Alloc(i int, nu float64) float64 {
-	return s.in.alloc(s.in.groups[i], s.omega, nu)
+	return s.in.alloc(i, s.omega, nu)
+}
+
+// SumAlloc implements numopt.BulkWaterSystem: Σ_i Alloc(i, ν) accumulated in
+// ascending index order — the exact arithmetic of the generic per-item loop.
+func (s *fillSystem) SumAlloc(nu float64) float64 {
+	in, omega := s.in, s.omega
+	var sum float64
+	for i := 0; i < len(in.gIdx); i++ {
+		sum += in.alloc(i, omega, nu)
+	}
+	return sum
+}
+
+// AllocInto implements numopt.BulkWaterSystem: writes Alloc(i, ν) into out
+// and returns the ascending-order sum of the written values.
+func (s *fillSystem) AllocInto(out []float64, nu float64) float64 {
+	in, omega := s.in, s.omega
+	var sum float64
+	for i := range out {
+		out[i] = in.alloc(i, omega, nu)
+		sum += out[i]
+	}
+	return sum
 }
 
 // orderCache memoizes the fillNoDelay group ordering. The sort key is
@@ -136,7 +168,7 @@ func (c *orderCache) get(in *Instance, omega float64) []int {
 // sortedOrder reproduces fillNoDelay's historical per-call sort for a
 // representative omega of the sign class.
 func sortedOrder(buf []int, in *Instance, omega float64) []int {
-	n := len(in.groups)
+	n := len(in.gIdx)
 	if cap(buf) < n {
 		buf = make([]int, n)
 	}
@@ -145,7 +177,7 @@ func sortedOrder(buf []int, in *Instance, omega float64) []int {
 		buf[i] = i
 	}
 	sort.Slice(buf, func(a, b int) bool {
-		return omega*in.groups[buf[a]].slopeKW < omega*in.groups[buf[b]].slopeKW
+		return omega*in.gSlope[buf[a]] < omega*in.gSlope[buf[b]]
 	})
 	return buf
 }
@@ -168,9 +200,18 @@ type solveScratch struct {
 // steady-state proposal loop performs no heap allocation.
 type Instance struct {
 	prob   *dcmodel.SlotProblem
-	speeds []int   // owned copy of the current speed vector
-	groups []group // on groups, ascending cluster index
-	pos    []int   // cluster group index -> position in groups, -1 when off
+	arr    *dcmodel.ClusterArrays
+	speeds []int // owned copy of the current speed vector
+
+	// On groups in struct-of-arrays layout, ascending cluster index. The
+	// five slices are parallel: position i describes one on group.
+	gIdx   []int     // cluster group index
+	gN     []float64 // float64(n_g)
+	gRate  []float64 // R = n·x
+	gSlope []float64 // A = PUE·p_c(x)/x
+	gCap   []float64 // γ·R
+
+	pos    []int     // cluster group index -> position in the slices, -1 when off
 	static []float64 // per cluster group: PUE·n·StaticKW, speed-independent
 
 	// Tracked aggregates. Each is recomputed as a fresh ordered sum over the
@@ -198,6 +239,7 @@ func NewInstance(p *dcmodel.SlotProblem, speeds []int) (*Instance, error) {
 	}
 	in := &Instance{
 		prob:   p,
+		arr:    p.Cluster.Arrays(),
 		speeds: append([]int(nil), speeds...),
 		pos:    make([]int, len(p.Cluster.Groups)),
 		static: make([]float64, len(p.Cluster.Groups)),
@@ -205,17 +247,16 @@ func NewInstance(p *dcmodel.SlotProblem, speeds []int) (*Instance, error) {
 	in.sys.in = in
 	for g := range p.Cluster.Groups {
 		k := speeds[g]
-		if k < 0 || k > p.Cluster.Groups[g].Type.NumSpeeds() {
+		if k < 0 || k > in.arr.NumSpeeds[g] {
 			return nil, fmt.Errorf("loadbalance: group %d speed index %d out of range", g, k)
 		}
-		grp := &p.Cluster.Groups[g]
-		in.static[g] = p.Cluster.PUE * float64(grp.N) * grp.Type.StaticKW
+		in.static[g] = p.Cluster.PUE * in.arr.N[g] * in.arr.StaticKW[g]
 		in.pos[g] = -1
 		if k == 0 {
 			continue
 		}
-		in.pos[g] = len(in.groups)
-		in.groups = append(in.groups, makeGroup(p, g, k))
+		in.pos[g] = len(in.gIdx)
+		in.appendEntry(in.makeGroup(g, k))
 	}
 	in.recompute()
 	if p.LambdaRPS > in.capSum*(1+1e-12) {
@@ -224,16 +265,39 @@ func NewInstance(p *dcmodel.SlotProblem, speeds []int) (*Instance, error) {
 	return in, nil
 }
 
+// appendEntry pushes one on group onto the end of the parallel slices.
+func (in *Instance) appendEntry(e group) {
+	in.gIdx = append(in.gIdx, e.idx)
+	in.gN = append(in.gN, e.n)
+	in.gRate = append(in.gRate, e.rate)
+	in.gSlope = append(in.gSlope, e.slopeKW)
+	in.gCap = append(in.gCap, e.cap)
+}
+
+// entry gathers position p of the parallel slices back into a struct.
+func (in *Instance) entry(p int) group {
+	return group{
+		idx: in.gIdx[p], n: in.gN[p], rate: in.gRate[p],
+		slopeKW: in.gSlope[p], cap: in.gCap[p],
+	}
+}
+
+// setEntry scatters e into position p of the parallel slices.
+func (in *Instance) setEntry(p int, e group) {
+	in.gIdx[p], in.gN[p], in.gRate[p], in.gSlope[p], in.gCap[p] =
+		e.idx, e.n, e.rate, e.slopeKW, e.cap
+}
+
 // recompute refreshes the tracked aggregates as fresh sums over the on
 // groups in ascending cluster order — the exact accumulation order of a
 // from-scratch NewInstance (off groups contribute an exact +0 there, which
 // is an identity), so the values are bit-for-bit reproducible.
 func (in *Instance) recompute() {
 	var base, caps, rates float64
-	for i := range in.groups {
-		base += in.static[in.groups[i].idx]
-		caps += in.groups[i].cap
-		rates += in.groups[i].rate
+	for i := range in.gIdx {
+		base += in.static[in.gIdx[i]]
+		caps += in.gCap[i]
+		rates += in.gRate[i]
 	}
 	in.baseKW, in.capSum, in.rateSum = base, caps, rates
 	in.order.valid = false
@@ -261,7 +325,7 @@ func (in *Instance) SetSpeed(g, k int) error {
 	if g < 0 || g >= len(in.pos) {
 		return fmt.Errorf("loadbalance: group %d out of range", g)
 	}
-	if k < 0 || k > in.prob.Cluster.Groups[g].Type.NumSpeeds() {
+	if k < 0 || k > in.arr.NumSpeeds[g] {
 		return fmt.Errorf("loadbalance: group %d speed index %d out of range", g, k)
 	}
 	old := in.speeds[g]
@@ -276,16 +340,16 @@ func (in *Instance) SetSpeed(g, k int) error {
 	switch {
 	case old > 0 && k > 0:
 		p := in.pos[g]
-		in.undo.kind, in.undo.pos, in.undo.entry = undoModify, p, in.groups[p]
-		in.groups[p] = makeGroup(in.prob, g, k)
+		in.undo.kind, in.undo.pos, in.undo.entry = undoModify, p, in.entry(p)
+		in.setEntry(p, in.makeGroup(g, k))
 	case old > 0: // k == 0: drop the entry
 		p := in.pos[g]
-		in.undo.kind, in.undo.pos, in.undo.entry = undoRemove, p, in.groups[p]
+		in.undo.kind, in.undo.pos, in.undo.entry = undoRemove, p, in.entry(p)
 		in.removeAt(p)
 	default: // old == 0, k > 0: insert in cluster-index order
 		p := in.insertPos(g)
 		in.undo.kind, in.undo.pos = undoInsert, p
-		in.insertAt(p, makeGroup(in.prob, g, k))
+		in.insertAt(p, in.makeGroup(g, k))
 	}
 	in.recompute()
 	return nil
@@ -303,9 +367,9 @@ func (in *Instance) Revert() {
 	in.speeds[u.g] = u.oldK
 	switch u.kind {
 	case undoNone:
-		return // sums and groups untouched; order cache still valid
+		return // sums and slices untouched; order cache still valid
 	case undoModify:
-		in.groups[u.pos] = u.entry
+		in.setEntry(u.pos, u.entry)
 	case undoRemove:
 		in.insertAt(u.pos, u.entry)
 	case undoInsert:
@@ -318,13 +382,13 @@ func (in *Instance) Revert() {
 // Commit accepts the most recent SetSpeed, discarding its undo snapshot.
 func (in *Instance) Commit() { in.undo.valid = false }
 
-// insertPos returns the position in groups where cluster group g belongs
-// (groups are kept sorted by cluster index).
+// insertPos returns the position in the on-group slices where cluster group
+// g belongs (on groups are kept sorted by cluster index).
 func (in *Instance) insertPos(g int) int {
-	lo, hi := 0, len(in.groups)
+	lo, hi := 0, len(in.gIdx)
 	for lo < hi {
 		mid := (lo + hi) / 2
-		if in.groups[mid].idx < g {
+		if in.gIdx[mid] < g {
 			lo = mid + 1
 		} else {
 			hi = mid
@@ -334,49 +398,59 @@ func (in *Instance) insertPos(g int) int {
 }
 
 func (in *Instance) insertAt(p int, e group) {
-	in.groups = append(in.groups, group{})
-	copy(in.groups[p+1:], in.groups[p:])
-	in.groups[p] = e
-	for i := p; i < len(in.groups); i++ {
-		in.pos[in.groups[i].idx] = i
+	in.appendEntry(group{})
+	copy(in.gIdx[p+1:], in.gIdx[p:])
+	copy(in.gN[p+1:], in.gN[p:])
+	copy(in.gRate[p+1:], in.gRate[p:])
+	copy(in.gSlope[p+1:], in.gSlope[p:])
+	copy(in.gCap[p+1:], in.gCap[p:])
+	in.setEntry(p, e)
+	for i := p; i < len(in.gIdx); i++ {
+		in.pos[in.gIdx[i]] = i
 	}
 }
 
 func (in *Instance) removeAt(p int) {
-	g := in.groups[p].idx
-	copy(in.groups[p:], in.groups[p+1:])
-	in.groups = in.groups[:len(in.groups)-1]
+	g := in.gIdx[p]
+	copy(in.gIdx[p:], in.gIdx[p+1:])
+	copy(in.gN[p:], in.gN[p+1:])
+	copy(in.gRate[p:], in.gRate[p+1:])
+	copy(in.gSlope[p:], in.gSlope[p+1:])
+	copy(in.gCap[p:], in.gCap[p+1:])
+	n := len(in.gIdx) - 1
+	in.gIdx, in.gN, in.gRate, in.gSlope, in.gCap =
+		in.gIdx[:n], in.gN[:n], in.gRate[:n], in.gSlope[:n], in.gCap[:n]
 	in.pos[g] = -1
-	for i := p; i < len(in.groups); i++ {
-		in.pos[in.groups[i].idx] = i
+	for i := p; i < n; i++ {
+		in.pos[in.gIdx[i]] = i
 	}
 }
 
-// marginal returns d(cost)/dL for one group at load v under electricity
-// weight omega.
-func (in *Instance) marginal(g group, omega, v float64) float64 {
-	den := g.rate - v
+// marginal returns d(cost)/dL for on group i (slice position) at load v
+// under electricity weight omega.
+func (in *Instance) marginal(i int, omega, v float64) float64 {
+	den := in.gRate[i] - v
 	if den <= 0 {
 		return math.Inf(1)
 	}
-	return omega*g.slopeKW + in.prob.Wd*g.n*g.rate/(den*den)
+	return omega*in.gSlope[i] + in.prob.Wd*in.gN[i]*in.gRate[i]/(den*den)
 }
 
-// alloc returns the load at which the group's marginal cost equals price nu
+// alloc returns the load at which on group i's marginal cost equals price nu
 // under electricity weight omega, clamped to [0, cap].
-func (in *Instance) alloc(g group, omega, nu float64) float64 {
-	rem := nu - omega*g.slopeKW
+func (in *Instance) alloc(i int, omega, nu float64) float64 {
+	rem := nu - omega*in.gSlope[i]
 	if rem <= 0 {
 		return 0
 	}
 	if in.prob.Wd <= 0 {
 		// Pure electricity cost: bang-bang (handled by fillNoDelay; this
 		// path keeps alloc total so water-filling code stays generic).
-		return g.cap
+		return in.gCap[i]
 	}
 	// Wd·n·R/(R−L)² = rem  →  L = R − sqrt(Wd·n·R/rem).
-	l := g.rate - math.Sqrt(in.prob.Wd*g.n*g.rate/rem)
-	return numopt.Clamp(l, 0, g.cap)
+	l := in.gRate[i] - math.Sqrt(in.prob.Wd*in.gN[i]*in.gRate[i]/rem)
+	return numopt.Clamp(l, 0, in.gCap[i])
 }
 
 // filler computes one water-filling for a fixed electricity weight, writing
@@ -414,16 +488,16 @@ func (in *Instance) fill(omega float64) ([]float64, error) {
 // (see orderCache) instead of re-sorted on every call.
 func (in *Instance) fillNoDelayInto(dst []float64, omega float64) []float64 {
 	order := in.order.get(in, omega)
-	if cap(dst) < len(in.groups) {
-		dst = make([]float64, len(in.groups))
+	if cap(dst) < len(in.gIdx) {
+		dst = make([]float64, len(in.gIdx))
 	}
-	dst = dst[:len(in.groups)]
+	dst = dst[:len(in.gIdx)]
 	for i := range dst {
 		dst[i] = 0
 	}
 	remaining := in.prob.LambdaRPS
 	for _, i := range order {
-		take := math.Min(remaining, in.groups[i].cap)
+		take := math.Min(remaining, in.gCap[i])
 		dst[i] = take
 		remaining -= take
 		if remaining <= 0 {
@@ -438,8 +512,8 @@ const waterFillTol = 1e-7
 // powerOf returns the facility power of an instance-group load vector.
 func (in *Instance) powerOf(loads []float64) float64 {
 	p := in.baseKW
-	for i, g := range in.groups {
-		p += g.slopeKW * loads[i]
+	for i := 0; i < len(in.gIdx); i++ {
+		p += in.gSlope[i] * loads[i]
 	}
 	return p
 }
@@ -455,8 +529,8 @@ func (in *Instance) expandInto(dst []float64, loads []float64) []float64 {
 	for i := range dst {
 		dst[i] = 0
 	}
-	for i := range in.groups {
-		dst[in.groups[i].idx] = loads[i]
+	for i := range in.gIdx {
+		dst[in.gIdx[i]] = loads[i]
 	}
 	return dst
 }
@@ -496,7 +570,7 @@ func (in *Instance) SolveInto(dst *dcmodel.Solution) error {
 // aliases the instance's scratch buffers; callers consume or copy it before
 // the next solve.
 func (in *Instance) solveWith(f filler) ([]float64, error) {
-	if len(in.groups) == 0 {
+	if len(in.gIdx) == 0 {
 		if in.prob.LambdaRPS > 0 {
 			return nil, ErrInfeasible
 		}

@@ -234,10 +234,10 @@ func TestKKTEqualMarginals(t *testing.T) {
 		t.Fatal(err)
 	}
 	var marginals []float64
-	for _, g := range in.groups {
-		l := sol.Load[g.idx]
-		if l > 1e-6 && l < g.cap-1e-6 {
-			marginals = append(marginals, in.marginal(g, p.We, l))
+	for i := range in.gIdx {
+		l := sol.Load[in.gIdx[i]]
+		if l > 1e-6 && l < in.gCap[i]-1e-6 {
+			marginals = append(marginals, in.marginal(i, p.We, l))
 		}
 	}
 	if len(marginals) < 2 {

@@ -196,6 +196,21 @@ type WaterSystem interface {
 	Alloc(i int, nu float64) float64
 }
 
+// BulkWaterSystem is an optional extension of WaterSystem for systems whose
+// coordinate state lives in flat arrays: WaterFillInto type-asserts for it
+// and, when present, replaces its per-item Alloc interface calls with one
+// bulk call per price evaluation. Implementations MUST accumulate in
+// ascending index order — the exact arithmetic of the per-item loop they
+// replace — so the fast path stays bit-for-bit identical to the generic one.
+type BulkWaterSystem interface {
+	WaterSystem
+	// SumAlloc returns Σ_i Alloc(i, nu), accumulated in ascending i.
+	SumAlloc(nu float64) float64
+	// AllocInto writes Alloc(i, nu) into out[i] for i in [0, len(out)) and
+	// returns the ascending-order sum of the written values.
+	AllocInto(out []float64, nu float64) float64
+}
+
 // waterItems adapts the closure-based []WaterFillItem form to WaterSystem so
 // WaterFill and WaterFillInto share one implementation of the algorithm.
 type waterItems []WaterFillItem
@@ -251,7 +266,11 @@ func WaterFillInto(sys WaterSystem, total, tol float64, out []float64) ([]float6
 		}
 		return out, nil
 	}
+	bulk, _ := sys.(BulkWaterSystem)
 	sumAt := func(nu float64) float64 {
+		if bulk != nil {
+			return bulk.SumAlloc(nu)
+		}
 		var s float64
 		for i := 0; i < n; i++ {
 			s += sys.Alloc(i, nu)
@@ -278,9 +297,13 @@ func WaterFillInto(sys WaterSystem, total, tol float64, out []float64) ([]float6
 	}
 	nu := BisectMonotone(sumAt, total, nuLo, nuHi, (nuHi-nuLo)*1e-13, 120)
 	var got float64
-	for i := 0; i < n; i++ {
-		out[i] = sys.Alloc(i, nu)
-		got += out[i]
+	if bulk != nil {
+		got = bulk.AllocInto(out, nu)
+	} else {
+		for i := 0; i < n; i++ {
+			out[i] = sys.Alloc(i, nu)
+			got += out[i]
+		}
 	}
 	// Repair the residual mismatch caused by finite bisection: spread it
 	// across coordinates with slack, preserving bounds.

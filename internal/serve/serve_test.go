@@ -233,3 +233,30 @@ func TestSyntheticSlotsPositionAddressable(t *testing.T) {
 		}
 	}
 }
+
+// TestSyntheticSlotsNonPositiveCount pins the clamp: a zero or negative
+// count is an empty stream, never a make() panic.
+func TestSyntheticSlotsNonPositiveCount(t *testing.T) {
+	if got := SyntheticSlots(7, 0, 0, 100, 2, 1.5); len(got) != 0 {
+		t.Fatalf("count=0 returned %d slots", len(got))
+	}
+	if got := SyntheticSlots(7, 10, -3, 100, 2, 1.5); len(got) != 0 {
+		t.Fatalf("count=-3 returned %d slots", len(got))
+	}
+}
+
+// TestSyntheticSlotsNegativeStartPhase pins the diurnal wrap-around for
+// windows starting before the epoch: the solar curve is a pure function of
+// the hour-of-day (no jitter), so slots [-24, 0) must carry exactly the
+// on-site values of slots [0, 24). Go's native t%24 is negative for
+// negative t and used to shift the phase off the 24h grid.
+func TestSyntheticSlotsNegativeStartPhase(t *testing.T) {
+	before := SyntheticSlots(7, -24, 24, 100, 2, 1.5)
+	after := SyntheticSlots(7, 0, 24, 100, 2, 1.5)
+	for i := range before {
+		if before[i].OnsiteKW != after[i].OnsiteKW {
+			t.Fatalf("hour %d: onsite %v before epoch vs %v after — diurnal phase broken for negative slots",
+				i, before[i].OnsiteKW, after[i].OnsiteKW)
+		}
+	}
+}

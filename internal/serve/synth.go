@@ -10,10 +10,19 @@ import "math"
 // the matching suffix after a restart — reproduces exactly the slots an
 // uninterrupted stream would have carried.
 func SyntheticSlots(seed uint64, start, count int, peakRPS, onsitePeakKW, offsiteMeanKWh float64) []SlotInput {
+	if count <= 0 {
+		// A non-positive count is an empty stream, not a panic: library
+		// callers compute window sizes (end-start) that legitimately hit 0,
+		// and a negative count must not reach make().
+		return nil
+	}
 	out := make([]SlotInput, count)
 	for i := range out {
 		t := start + i
-		hour := float64(t % 24)
+		// Go's % keeps the dividend's sign, so a negative absolute index
+		// (a window starting before the epoch) needs the wrap-around to
+		// stay on the same 24h diurnal phase as t+24.
+		hour := float64(((t % 24) + 24) % 24)
 		day := 2 * math.Pi * hour / 24
 		// Diurnal demand: trough at ~04:00, peak at ~16:00, plus seeded
 		// per-slot jitter in ±10%.

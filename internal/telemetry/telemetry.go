@@ -32,8 +32,14 @@ type Counter struct {
 	bits atomic.Uint64 // float64 sum
 }
 
-// Add accumulates v. It is lock-free and safe for concurrent use.
+// Add accumulates v. It is lock-free and safe for concurrent use. A NaN
+// delta is dropped: accumulating it would turn the running sum — and every
+// later read — into NaN with no way back, so a poisoned input must not
+// destroy the series it feeds.
 func (c *Counter) Add(v float64) {
+	if math.IsNaN(v) {
+		return
+	}
 	for {
 		old := c.bits.Load()
 		cur := math.Float64frombits(old)
@@ -61,8 +67,14 @@ func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
 func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
 
 // Add shifts the gauge by delta — the level-style use (in-flight jobs,
-// queue occupancy) where concurrent writers increment and decrement.
+// queue occupancy) where concurrent writers increment and decrement. A NaN
+// delta is dropped for the same reason as Counter.Add: unlike Set (whose
+// last-write-wins NaN heals on the next write), an accumulated NaN is
+// permanent.
 func (g *Gauge) Add(delta float64) {
+	if math.IsNaN(delta) {
+		return
+	}
 	for {
 		old := g.bits.Load()
 		cur := math.Float64frombits(old)
@@ -78,12 +90,13 @@ func (g *Gauge) Add(delta float64) {
 type Histogram struct {
 	bounds []float64
 
-	mu     sync.Mutex
-	counts []uint64
-	count  uint64
-	sum    float64
-	min    float64
-	max    float64
+	mu      sync.Mutex
+	counts  []uint64
+	count   uint64
+	invalid uint64
+	sum     float64
+	min     float64
+	max     float64
 }
 
 // NewHistogram builds a histogram over the given ascending bucket
@@ -115,8 +128,18 @@ func ExpBuckets(start, factor float64, n int) []float64 {
 	return out
 }
 
-// Observe records one sample.
+// Observe records one sample. A NaN sample is counted as invalid rather
+// than bucketed: sort.SearchFloat64s would silently drop it into the
+// overflow bucket and sum += NaN would poison Sum/Mean for the rest of the
+// run. Invalid observations are visible in the snapshot's Invalid count so
+// a producer emitting garbage is detectable, not laundered.
 func (h *Histogram) Observe(v float64) {
+	if math.IsNaN(v) {
+		h.mu.Lock()
+		h.invalid++
+		h.mu.Unlock()
+		return
+	}
 	// Bucket search outside the lock: bounds are immutable.
 	i := sort.SearchFloat64s(h.bounds, v)
 	h.mu.Lock()
@@ -137,22 +160,26 @@ type HistogramSnapshot struct {
 	Bounds []float64 `json:"bounds,omitempty"`
 	Counts []uint64  `json:"counts"`
 	Count  uint64    `json:"count"`
-	Sum    float64   `json:"sum"`
-	Min    float64   `json:"min"`
-	Max    float64   `json:"max"`
-	Mean   float64   `json:"mean"`
+	// Invalid counts NaN observations, which are excluded from every other
+	// field (buckets, Count, Sum, Min, Max, Mean).
+	Invalid uint64  `json:"invalid,omitempty"`
+	Sum     float64 `json:"sum"`
+	Min     float64 `json:"min"`
+	Max     float64 `json:"max"`
+	Mean    float64 `json:"mean"`
 }
 
 // Snapshot copies the histogram state under the lock.
 func (h *Histogram) Snapshot() HistogramSnapshot {
 	h.mu.Lock()
 	s := HistogramSnapshot{
-		Bounds: h.bounds,
-		Counts: append([]uint64(nil), h.counts...),
-		Count:  h.count,
-		Sum:    h.sum,
-		Min:    h.min,
-		Max:    h.max,
+		Bounds:  h.bounds,
+		Counts:  append([]uint64(nil), h.counts...),
+		Count:   h.count,
+		Invalid: h.invalid,
+		Sum:     h.sum,
+		Min:     h.min,
+		Max:     h.max,
 	}
 	h.mu.Unlock()
 	if s.Count > 0 {

@@ -67,6 +67,54 @@ func TestHistogramBuckets(t *testing.T) {
 	}
 }
 
+// TestHistogramObserveNaN pins the defined behavior for invalid samples:
+// a NaN observation lands in the dedicated Invalid count and leaves every
+// bucket and the Count/Sum/Min/Max/Mean statistics untouched — previously
+// it fell silently into the overflow bucket and turned Sum/Mean into NaN
+// for the rest of the run.
+func TestHistogramObserveNaN(t *testing.T) {
+	h := NewHistogram([]float64{1, 10})
+	h.Observe(5)
+	h.Observe(math.NaN())
+	h.Observe(math.NaN())
+	s := h.Snapshot()
+	if s.Invalid != 2 {
+		t.Fatalf("Invalid = %d, want 2", s.Invalid)
+	}
+	if s.Count != 1 || s.Sum != 5 || s.Min != 5 || s.Max != 5 || s.Mean != 5 {
+		t.Fatalf("NaN leaked into the statistics: %+v", s)
+	}
+	if s.Counts[len(s.Counts)-1] != 0 {
+		t.Fatalf("NaN leaked into the overflow bucket: %v", s.Counts)
+	}
+}
+
+// TestCounterGaugeNaN pins the accumulator audit: NaN deltas are dropped
+// (an accumulated NaN is irreversible), while Gauge.Set keeps last-write-
+// wins semantics — a stored NaN heals on the next Set.
+func TestCounterGaugeNaN(t *testing.T) {
+	var c Counter
+	c.Add(2)
+	c.Add(math.NaN())
+	if got := c.Value(); got != 2 {
+		t.Fatalf("Counter after NaN delta = %v, want 2", got)
+	}
+	var g Gauge
+	g.Set(3)
+	g.Add(math.NaN())
+	if got := g.Value(); got != 3 {
+		t.Fatalf("Gauge after NaN delta = %v, want 3", got)
+	}
+	g.Set(math.NaN())
+	if !math.IsNaN(g.Value()) {
+		t.Fatal("Gauge.Set is last-write-wins and must store NaN as written")
+	}
+	g.Set(1)
+	if got := g.Value(); got != 1 {
+		t.Fatalf("Gauge did not heal after Set: %v", got)
+	}
+}
+
 func TestHistogramEmptySnapshot(t *testing.T) {
 	s := NewHistogram(ExpBuckets(1, 2, 4)).Snapshot()
 	if s.Count != 0 || s.Min != 0 || s.Max != 0 || s.Mean != 0 {

@@ -1,0 +1,45 @@
+// Package workpool provides the bounded fan-out primitive every parallel
+// hot path in this repository shares: run n index-addressed jobs on up to
+// `workers` goroutines, each job writing only its own output slot, so the
+// result is independent of goroutine scheduling. It is the pool discipline
+// internal/experiments introduced and internal/geo adopted, extracted so the
+// distributed load-balance rounds and the fleet step can reuse it.
+package workpool
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Fan runs job(0..n-1) on up to workers goroutines using an atomic work
+// counter. workers <= 1 (or n <= 1) degrades to the plain sequential loop,
+// which callers rely on as the bit-for-bit reference path: jobs must write
+// only state owned by their index, so the parallel schedule changes timing
+// but never results.
+func Fan(workers, n int, job func(int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 || n <= 1 {
+		for i := 0; i < n; i++ {
+			job(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				job(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,63 @@
+package workpool
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// TestFanCoversEveryIndexOnce checks the pool contract at several worker
+// counts, including the degenerate sequential ones: every index in [0, n)
+// runs exactly once.
+func TestFanCoversEveryIndexOnce(t *testing.T) {
+	const n = 200
+	for _, workers := range []int{0, 1, 2, 7, n, 3 * n} {
+		counts := make([]atomic.Int64, n)
+		Fan(workers, n, func(i int) { counts[i].Add(1) })
+		for i := range counts {
+			if got := counts[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: job %d ran %d times", workers, i, got)
+			}
+		}
+	}
+}
+
+// TestFanSequentialOrder pins the workers <= 1 path as a plain ascending
+// loop — the bit-for-bit reference schedule parallel callers compare
+// against.
+func TestFanSequentialOrder(t *testing.T) {
+	var order []int
+	Fan(1, 5, func(i int) { order = append(order, i) })
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("sequential order = %v", order)
+		}
+	}
+	if len(order) != 5 {
+		t.Fatalf("ran %d jobs, want 5", len(order))
+	}
+}
+
+// TestFanEmpty checks n = 0 is a no-op at any worker count.
+func TestFanEmpty(t *testing.T) {
+	ran := false
+	Fan(4, 0, func(int) { ran = true })
+	if ran {
+		t.Fatal("job ran for n=0")
+	}
+}
+
+// TestFanIndexAddressedResults is the schedule-independence property the
+// repository's parallel hot paths rely on: jobs writing only their own
+// slot produce identical results at any worker count.
+func TestFanIndexAddressedResults(t *testing.T) {
+	const n = 500
+	ref := make([]int, n)
+	Fan(1, n, func(i int) { ref[i] = i * i })
+	got := make([]int, n)
+	Fan(8, n, func(i int) { got[i] = i * i })
+	for i := range ref {
+		if got[i] != ref[i] {
+			t.Fatalf("slot %d: %d != %d", i, got[i], ref[i])
+		}
+	}
+}
