@@ -12,8 +12,11 @@
 //	cocad -emit-slots 100 | curl -sN --json @- $ADDR/ingest
 //
 // Endpoints (one listener): POST /decide, POST /ingest (NDJSON stream),
-// GET /state, GET /checkpoint, plus /metrics, /spans, /debug/vars and
-// /debug/pprof from the telemetry layer.
+// GET /state, GET /checkpoint, GET /healthz (liveness), GET /readyz
+// (restore complete, checkpoint writer healthy, settle-age bound), plus
+// /metrics (Prometheus text), /metrics.json, /spans, /debug/vars and —
+// unless -no-pprof — /debug/pprof from the telemetry layer. Logs are
+// structured records (-log-format text|json) on stderr.
 package main
 
 import (
@@ -23,11 +26,13 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
 	"os/signal"
 	"path/filepath"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -38,6 +43,7 @@ import (
 	"repro/internal/lyapunov"
 	"repro/internal/serve"
 	"repro/internal/telemetry"
+	"repro/internal/telemetry/logf"
 	"repro/internal/telemetry/span"
 )
 
@@ -83,6 +89,10 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer, ready fun
 		patience   = fs.Int("patience", 0, "GSD early-stop patience (0 disables)")
 		emitSlots  = fs.Int("emit-slots", 0, "emit this many synthetic SlotInput NDJSON records to stdout and exit")
 		emitStart  = fs.Int("emit-start", 0, "absolute slot index the emitted stream starts at")
+		site       = fs.String("site", "default", "site label stamped on this daemon's metrics series")
+		noPprof    = fs.Bool("no-pprof", false, "do not mount /debug/pprof on the control-plane listener")
+		logFormat  = fs.String("log-format", logf.FormatText, "structured log format: text or json")
+		maxSettle  = fs.Duration("ready-max-settle-age", 0, "fail /readyz when the last settled slot is older than this (0 disables)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return fmt.Errorf("%w: %v", errUsage, err)
@@ -110,12 +120,27 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer, ready fun
 	if *groups > *n {
 		return fmt.Errorf("%w: -groups %d exceeds -n %d servers", errUsage, *groups, *n)
 	}
+	if *maxSettle < 0 {
+		return fmt.Errorf("%w: -ready-max-settle-age %v is negative", errUsage, *maxSettle)
+	}
+	log, err := logf.New(stderr, *logFormat, logf.Options{})
+	if err != nil {
+		return fmt.Errorf("%w: %v", errUsage, err)
+	}
 
 	cluster := dcmodel.HeterogeneousCluster(*n, *groups)
 
 	if *emitSlots > 0 {
 		return emit(stdout, cluster, *seed, *emitStart, *emitSlots)
 	}
+
+	// Startup config dump: one record carrying every effective flag value,
+	// so a log line suffices to reproduce the run.
+	var cfg []any
+	fs.VisitAll(func(f *flag.Flag) {
+		cfg = append(cfg, f.Name, f.Value.String())
+	})
+	log.Info("config", cfg...)
 
 	ctrl, err := core.NewController(cluster, *beta, lyapunov.ConstantV(*vParam, *frames, *frameSlots),
 		*alpha, *rec, &gsd.Solver{Opts: gsd.Options{
@@ -129,8 +154,39 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer, ready fun
 	svc := serve.New(ctrl)
 
 	reg := telemetry.NewRegistry()
-	svc.Instrument(serve.NewMetrics(reg, "cocad"))
+	svc.Instrument(serve.NewSiteMetrics(reg, "cocad", *site))
+	telemetry.NewRuntimeMetrics(reg, "runtime")
+	if !telemetry.PublishExpvar(reg) {
+		log.Warn("expvar name already owned by an earlier registry; /debug/vars will not carry this run")
+	}
 	tracer := span.NewTracer()
+
+	// Readiness: restore must have finished, the checkpoint writer must
+	// not be failing, and (when bounded) the feed must not have stalled.
+	var restoreDone, ckptErr atomic.Value
+	restoreDone.Store(*restore == "")
+	ckptErr.Store("")
+	readiness := serve.NewReadiness()
+	readiness.Add("restore", func() error {
+		if !restoreDone.Load().(bool) {
+			return errors.New("checkpoint restore still pending")
+		}
+		return nil
+	})
+	readiness.Add("checkpoint", func() error {
+		if msg := ckptErr.Load().(string); msg != "" {
+			return errors.New(msg)
+		}
+		return nil
+	})
+	if *maxSettle > 0 {
+		readiness.Add("settle-age", func() error {
+			if age, ok := svc.SettleAge(); ok && age > *maxSettle {
+				return fmt.Errorf("last slot settled %s ago (bound %s)", age.Round(time.Millisecond), *maxSettle)
+			}
+			return nil
+		})
+	}
 
 	if *restore != "" {
 		blob, err := os.ReadFile(*restore)
@@ -144,8 +200,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer, ready fun
 		if err := svc.RestoreFrom(ck); err != nil {
 			return fmt.Errorf("restore: %w", err)
 		}
-		fmt.Fprintf(stderr, "cocad: restored %s at slot %d (hash %s)\n",
-			*restore, svc.State().Slot, svc.State().Hash)
+		restoreDone.Store(true)
+		log.Info("restored", "path", *restore, "slot", svc.State().Slot, "hash", svc.State().Hash)
 	}
 
 	// The periodic checkpointer runs off the ingest path: the on-settle
@@ -177,7 +233,10 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer, ready fun
 				return
 			case <-wake:
 				if err := writeCheckpoint(*ckptPath, svc); err != nil {
-					fmt.Fprintf(stderr, "cocad: checkpoint write failed: %v\n", err)
+					ckptErr.Store(err.Error())
+					log.Error("checkpoint write failed", "path", *ckptPath, "error", err)
+				} else {
+					ckptErr.Store("")
 				}
 			}
 		}
@@ -187,8 +246,13 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer, ready fun
 	if err != nil {
 		return err
 	}
-	srv := &http.Server{Handler: svc.Handler(reg, tracer)}
-	fmt.Fprintf(stderr, "cocad: listening on http://%s (POST /decide /ingest, GET /state /checkpoint /metrics)\n", ln.Addr())
+	srv := &http.Server{Handler: svc.HandlerWith(reg, tracer, serve.HandlerOpts{
+		Telemetry: telemetry.RegisterOpts{NoPprof: *noPprof},
+		Log:       log.With(slog.String("site", *site)),
+		Ready:     readiness,
+	})}
+	log.Info("listening", "addr", "http://"+ln.Addr().String(), "site", *site,
+		"endpoints", "/decide /ingest /state /checkpoint /healthz /readyz /metrics")
 	if ready != nil {
 		ready(ln.Addr().String())
 	}
@@ -215,8 +279,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer, ready fun
 		if err := writeCheckpoint(*ckptPath, svc); err != nil {
 			return fmt.Errorf("final checkpoint: %w", err)
 		}
-		fmt.Fprintf(stderr, "cocad: checkpoint %s at slot %d (hash %s)\n",
-			*ckptPath, svc.State().Slot, svc.State().Hash)
+		log.Info("checkpoint written", "path", *ckptPath,
+			"slot", svc.State().Slot, "hash", svc.State().Hash)
 	}
 	return nil
 }

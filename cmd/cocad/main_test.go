@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"repro/internal/serve"
+	"repro/internal/telemetry/promtext"
 )
 
 // startDaemon runs the daemon body in a goroutine and returns its base URL
@@ -162,7 +163,8 @@ func TestDaemonEndpointsOneListener(t *testing.T) {
 	dir := t.TempDir()
 	base, _ := startDaemon(t, "-addr", "127.0.0.1:0",
 		"-checkpoint", filepath.Join(dir, "ck.json"), "-n", "15", "-groups", "3")
-	for _, path := range []string{"/state", "/checkpoint", "/metrics", "/spans", "/debug/vars"} {
+	for _, path := range []string{"/state", "/checkpoint", "/metrics", "/metrics.json",
+		"/healthz", "/readyz", "/spans", "/debug/vars"} {
 		resp, err := http.Get(base + path)
 		if err != nil {
 			t.Fatal(err)
@@ -172,6 +174,103 @@ func TestDaemonEndpointsOneListener(t *testing.T) {
 			t.Errorf("GET %s = %d", path, resp.StatusCode)
 		}
 	}
+}
+
+// TestDaemonMetricsExposition pins the daemon's scrape surface: after a
+// few settled slots, /metrics is Prometheus text carrying site-labeled
+// controller series and the runtime collector's gauges.
+func TestDaemonMetricsExposition(t *testing.T) {
+	dir := t.TempDir()
+	base, _ := startDaemon(t, "-addr", "127.0.0.1:0", "-site", "dc-east",
+		"-checkpoint", filepath.Join(dir, "ck.json"), "-n", "15", "-groups", "3")
+	if n := ingest(t, base, emitNDJSON(t, 0, 5)); n != 5 {
+		t.Fatalf("settled %d slots, want 5", n)
+	}
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	fams, err := promtext.Parse(resp.Body)
+	if err != nil {
+		t.Fatalf("/metrics is not valid Prometheus text: %v", err)
+	}
+	slots, ok := promtext.Find(fams, "cocad_slots", promtext.Label{Name: "site", Value: "dc-east"})
+	if !ok || slots.Value != 5 {
+		t.Fatalf(`cocad_slots{site="dc-east"} = %+v (ok=%v), want 5`, slots, ok)
+	}
+	if _, ok := promtext.Find(fams, "runtime_goroutines"); !ok {
+		t.Fatal("runtime collector series missing from /metrics")
+	}
+	if _, ok := promtext.Find(fams, "http_requests",
+		promtext.Label{Name: "path", Value: "/ingest"}, promtext.Label{Name: "code", Value: "200"}); !ok {
+		t.Fatal(`http_requests{path="/ingest",code="200"} missing from /metrics`)
+	}
+}
+
+// TestDaemonNoPprof pins the -no-pprof gate: the profiling surface is
+// unmounted while the rest of the telemetry surface stays up.
+func TestDaemonNoPprof(t *testing.T) {
+	dir := t.TempDir()
+	base, _ := startDaemon(t, "-addr", "127.0.0.1:0", "-no-pprof",
+		"-checkpoint", filepath.Join(dir, "ck.json"), "-n", "15", "-groups", "3")
+	resp, err := http.Get(base + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("GET /debug/pprof/ with -no-pprof = %d, want 404", resp.StatusCode)
+	}
+	for _, path := range []string{"/metrics", "/debug/vars", "/healthz"} {
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("GET %s = %d", path, resp.StatusCode)
+		}
+	}
+}
+
+// TestDaemonReadyzSettleAge pins the settle-age readiness bound: fresh
+// daemons are ready (nothing settled yet), and a stalled feed flips
+// /readyz to 503 once the last settle outlives the bound.
+func TestDaemonReadyzSettleAge(t *testing.T) {
+	dir := t.TempDir()
+	base, _ := startDaemon(t, "-addr", "127.0.0.1:0", "-ready-max-settle-age", "50ms",
+		"-checkpoint", filepath.Join(dir, "ck.json"), "-n", "15", "-groups", "3")
+	if code := getStatus(t, base+"/readyz"); code != http.StatusOK {
+		t.Fatalf("fresh daemon /readyz = %d, want 200", code)
+	}
+	if n := ingest(t, base, emitNDJSON(t, 0, 1)); n != 1 {
+		t.Fatalf("settled %d slots, want 1", n)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if code := getStatus(t, base+"/readyz"); code == http.StatusServiceUnavailable {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("/readyz never flipped to 503 after the feed stalled")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	// Liveness is unaffected by readiness.
+	if code := getStatus(t, base+"/healthz"); code != http.StatusOK {
+		t.Fatalf("/healthz = %d while unready, want 200", code)
+	}
+}
+
+func getStatus(t *testing.T, url string) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	return resp.StatusCode
 }
 
 func TestRunRejectsBadFlags(t *testing.T) {

@@ -22,6 +22,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"os"
 	"path/filepath"
@@ -32,8 +33,14 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/report"
 	"repro/internal/telemetry"
+	"repro/internal/telemetry/logf"
 	"repro/internal/telemetry/span"
 )
+
+// logger carries the process's structured stderr log (logf records, not
+// prose): experiment results stay on stdout, operational events land
+// here. Set once in main before any runner can log.
+var logger *slog.Logger
 
 func main() {
 	var (
@@ -57,8 +64,16 @@ func main() {
 		traceOut     = flag.String("trace-out", "", "record execution spans and write them as Chrome trace-event JSON to this path (open in ui.perfetto.dev or chrome://tracing)")
 		traceSpans   = flag.String("trace-spans", "", "record execution spans and write them as NDJSON (one span per line) to this path")
 		benchAgainst = flag.String("bench-against", "", "with -bench-json: compare the fresh report against this baseline (hard equality on result hashes, ±25% wall-time tolerance) and exit non-zero on regression")
+		logFormat    = flag.String("log-format", logf.FormatText, "structured log format for stderr: text or json")
 	)
 	flag.Parse()
+
+	var err error
+	logger, err = logf.New(os.Stderr, *logFormat, logf.Options{})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%v\n", err)
+		os.Exit(2)
+	}
 
 	// Reject nonsensical values up front: a negative -workers used to slip
 	// through the pool's `> 0` check and silently mean "all cores".
@@ -70,7 +85,7 @@ func main() {
 		cliutil.NonNegativeFloat("-budget", *budget),
 		cliutil.PositiveFloat("-v", *vParam),
 	); err != nil {
-		fmt.Fprintf(os.Stderr, "%v\n", err)
+		logger.Error("bad flags", "error", err)
 		os.Exit(2)
 	}
 
@@ -83,11 +98,12 @@ func main() {
 	if *metricsAddr != "" {
 		srv, addr, err := telemetry.Serve(*metricsAddr, reg, tracer)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "metrics server failed: %v\n", err)
+			logger.Error("metrics server failed", "error", err)
 			os.Exit(1)
 		}
 		metricsSrv = srv
-		fmt.Fprintf(os.Stderr, "telemetry on http://%s (/metrics, /spans, /debug/vars, /debug/pprof)\n", addr)
+		logger.Info("telemetry listening", "addr", "http://"+addr.String(),
+			"endpoints", "/metrics /metrics.json /spans /debug/vars /debug/pprof")
 	}
 	// finish runs every end-of-run duty: snapshot telemetry, export the
 	// recorded spans, and shut the metrics server down so its listener is
@@ -96,12 +112,12 @@ func main() {
 	finish := func() {
 		if *telemJSON != "" {
 			if err := writeTelemetry(*telemJSON, reg); err != nil {
-				fmt.Fprintf(os.Stderr, "telemetry snapshot failed: %v\n", err)
+				logger.Error("telemetry snapshot failed", "error", err)
 				os.Exit(1)
 			}
 		}
 		if err := writeTraces(tracer, *traceOut, *traceSpans); err != nil {
-			fmt.Fprintf(os.Stderr, "trace export failed: %v\n", err)
+			logger.Error("trace export failed", "error", err)
 			os.Exit(1)
 		}
 		if metricsSrv != nil {
@@ -119,13 +135,13 @@ func main() {
 			*telemJSON = strings.TrimSuffix(*bench, ".json") + ".telemetry.json"
 		}
 		if err := runBench(*bench, *workers, reg, *scale); err != nil {
-			fmt.Fprintf(os.Stderr, "bench failed: %v\n", err)
+			logger.Error("bench failed", "error", err)
 			os.Exit(1)
 		}
 		finish()
 		if *benchAgainst != "" {
 			if err := compareBench(*bench, *benchAgainst); err != nil {
-				fmt.Fprintf(os.Stderr, "%v\n", err)
+				logger.Error("bench regression", "error", err)
 				os.Exit(1)
 			}
 		}
@@ -136,7 +152,7 @@ func main() {
 		// Standalone -scale: run the fleet grid and print the throughput
 		// lines without the full benchmark report.
 		if _, err := runScale(*scale, *workers); err != nil {
-			fmt.Fprintf(os.Stderr, "scale bench failed: %v\n", err)
+			logger.Error("scale bench failed", "error", err)
 			os.Exit(1)
 		}
 		finish()
@@ -157,7 +173,7 @@ func main() {
 
 	if *stream != "" {
 		if err := runSingle(cfg, *policy, *vParam, *stream, reg, tracer); err != nil {
-			fmt.Fprintf(os.Stderr, "run failed: %v\n", err)
+			logger.Error("run failed", "error", err)
 			os.Exit(1)
 		}
 		finish()
@@ -216,8 +232,8 @@ func main() {
 		for _, name := range strings.Split(*exp, ",") {
 			name = strings.TrimSpace(name)
 			if _, ok := runners[name]; !ok {
-				fmt.Fprintf(os.Stderr, "unknown experiment %q (choose from %s)\n",
-					name, strings.Join(order, ", "))
+				logger.Error("unknown experiment", "name", name,
+					"choices", strings.Join(order, ", "))
 				os.Exit(2)
 			}
 			selected = append(selected, name)
@@ -228,7 +244,7 @@ func main() {
 		fmt.Printf("\n################ %s ################\n", name)
 		start := time.Now()
 		if err := runners[name](); err != nil {
-			fmt.Fprintf(os.Stderr, "%s failed: %v\n", name, err)
+			logger.Error("experiment failed", "name", name, "error", err)
 			os.Exit(1)
 		}
 		fmt.Printf("[%s completed in %v]\n", name, time.Since(start).Round(time.Millisecond))

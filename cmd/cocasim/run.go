@@ -110,7 +110,7 @@ func writeTraces(tracer *span.Tracer, chromePath, ndjsonPath string) error {
 		return err
 	}
 	if tracer != nil && tracer.Dropped() > 0 {
-		fmt.Fprintf(os.Stderr, "trace: buffer cap reached, %d spans dropped\n", tracer.Dropped())
+		logger.Warn("trace buffer cap reached", "dropped", tracer.Dropped())
 	}
 	return nil
 }

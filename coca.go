@@ -328,6 +328,19 @@ type (
 	PoolMetrics = telemetry.PoolMetrics
 	// SlotStreamer writes one NDJSON record per settled slot.
 	SlotStreamer = telemetry.SlotStreamer
+	// LabeledCounter is a counter vector keyed by label tuples
+	// (e.g. per-site series rendered as name{site="…"} on /metrics).
+	LabeledCounter = telemetry.LabeledCounter
+	// LabeledGauge is a gauge vector keyed by label tuples.
+	LabeledGauge = telemetry.LabeledGauge
+	// LabeledHistogram is a histogram vector keyed by label tuples.
+	LabeledHistogram = telemetry.LabeledHistogram
+	// FleetMetrics instruments a geo fleet run with site-labeled series;
+	// attach with geo.Fleet.Instrument.
+	FleetMetrics = telemetry.FleetMetrics
+	// RuntimeMetrics is the Go runtime collector (goroutines, heap, GC),
+	// refreshed on every registry scrape.
+	RuntimeMetrics = telemetry.RuntimeMetrics
 )
 
 // NewTelemetryRegistry returns an empty metrics registry.
@@ -364,6 +377,19 @@ func NewGeoMetrics(r *TelemetryRegistry, prefix string) *GeoMetrics {
 // attach them with BatchScheduler.Instrument.
 func NewBatchMetrics(r *TelemetryRegistry, prefix string) *BatchMetrics {
 	return telemetry.NewBatchMetrics(r, prefix)
+}
+
+// NewFleetMetrics registers fleet instruments (site-labeled) under
+// prefix; attach them with geo.Fleet.Instrument.
+func NewFleetMetrics(r *TelemetryRegistry, prefix string) *FleetMetrics {
+	return telemetry.NewFleetMetrics(r, prefix)
+}
+
+// NewRuntimeMetrics registers the Go runtime collector under prefix and
+// hooks it into the registry's scrape path, so /metrics carries process
+// health next to the controller series.
+func NewRuntimeMetrics(r *TelemetryRegistry, prefix string) *RuntimeMetrics {
+	return telemetry.NewRuntimeMetrics(r, prefix)
 }
 
 // ServeTelemetry serves the registry over HTTP (/metrics, /spans,

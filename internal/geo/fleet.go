@@ -3,12 +3,14 @@ package geo
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"repro/internal/cliutil"
 	"repro/internal/dcmodel"
 	"repro/internal/gsd"
 	"repro/internal/lyapunov"
 	"repro/internal/renewable"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 	"repro/internal/workpool"
 )
@@ -71,6 +73,9 @@ type Fleet struct {
 	solvers []*gsd.Solver // per-site shard: own advancing seed + warm starts
 	slot    int
 	workers int
+
+	metrics   *telemetry.FleetMetrics
+	siteInstr []*telemetry.FleetSiteMetrics // cached per-site handles, index-aligned with Sites
 }
 
 // fleetSeedStride decorrelates per-site GSD seeds: site i's chain starts at
@@ -119,6 +124,31 @@ func (f *Fleet) SetWorkers(n int) error {
 	}
 	f.workers = n
 	return nil
+}
+
+// Instrument attaches fleet metrics (nil detaches). Per-site label
+// tuples are interned here, once, and the resulting plain-instrument
+// handles cached index-aligned with Sites, so the per-site emission in
+// Step is allocation-free: counter adds and histogram observes on
+// already-interned children, no map lookups, no label encoding. Each
+// site's GSD shard also gets its own SolveMetrics view, so shard solve
+// stats (iterations, dual rounds, solve wall time) land in the same
+// site-labeled vectors. Instrumentation never changes outcomes: it only
+// reads settled values after the fan-out barrier, in site order.
+func (f *Fleet) Instrument(m *telemetry.FleetMetrics) {
+	f.metrics = m
+	f.siteInstr = nil
+	if m == nil {
+		for i := range f.solvers {
+			f.solvers[i].Opts.Metrics = nil
+		}
+		return
+	}
+	f.siteInstr = make([]*telemetry.FleetSiteMetrics, len(f.Sites))
+	for i := range f.Sites {
+		f.siteInstr[i] = m.Site(f.Sites[i].Name)
+		f.solvers[i].Opts.Metrics = m.SiteSolveMetrics(f.Sites[i].Name)
+	}
 }
 
 // TotalCapacityRPS returns the fleet's aggregate γ-discounted capacity.
@@ -221,6 +251,10 @@ func (f *Fleet) Step(lambda, v float64) (FleetStepOutcome, error) {
 	if err := f.validateLoad(lambda); err != nil {
 		return FleetStepOutcome{}, err
 	}
+	var stepStart time.Time
+	if f.metrics != nil {
+		stepStart = time.Now()
+	}
 	k := len(f.Sites)
 	total := f.TotalCapacityRPS()
 	out := FleetStepOutcome{Sites: make([]FleetSiteOutcome, k)}
@@ -251,10 +285,26 @@ func (f *Fleet) Step(lambda, v float64) (FleetStepOutcome, error) {
 	})
 	for i := 0; i < k; i++ {
 		if errs[i] != nil {
+			if f.metrics != nil {
+				for j := i; j < k; j++ {
+					if errs[j] != nil {
+						f.siteInstr[j].SolveErrors.Inc()
+					}
+				}
+			}
 			return FleetStepOutcome{}, errs[i]
 		}
 		out.TotalCostUSD += out.Sites[i].CostUSD
 		out.TotalGridKWh += out.Sites[i].GridKWh
+	}
+	if f.metrics != nil {
+		for i := 0; i < k; i++ {
+			si, so := f.siteInstr[i], &out.Sites[i]
+			si.LoadRPS.Add(so.LoadRPS)
+			si.CostUSD.Add(so.CostUSD)
+			si.GridKWh.Add(so.GridKWh)
+		}
+		f.metrics.ObserveStep(out.TotalCostUSD, out.TotalGridKWh, time.Since(stepStart).Seconds())
 	}
 	return out, nil
 }
@@ -265,6 +315,9 @@ func (f *Fleet) Settle(out FleetStepOutcome) {
 	t := f.slot
 	for i := range f.Sites {
 		f.queues[i].Update(out.Sites[i].GridKWh, f.Sites[i].Portfolio.OffsiteKWh.Values[t])
+		if f.metrics != nil {
+			f.siteInstr[i].DeficitKWh.Set(f.queues[i].Len())
+		}
 	}
 	f.slot++
 }

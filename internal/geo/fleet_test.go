@@ -12,6 +12,7 @@ import (
 	"repro/internal/gsd"
 	"repro/internal/price"
 	"repro/internal/renewable"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
 
@@ -186,6 +187,92 @@ func TestFleetValidation(t *testing.T) {
 	}
 	if _, err := f.Step(1, 5e5); err == nil {
 		t.Error("stepping past the horizon should fail")
+	}
+}
+
+// TestFleetInstrumentedParity pins the observability acceptance bound:
+// attaching FleetMetrics must not change outcomes. An instrumented run
+// hashes bit-identically to a bare one, and the labeled series agree
+// exactly with the outcomes that produced them (same values folded in the
+// same order, so float sums match bit for bit).
+func TestFleetInstrumentedParity(t *testing.T) {
+	const (
+		slots, iters, workers = 4, 30, 4
+		k, groups, servers    = 4, 6, 8
+	)
+	base := runFleetHash(t, makeFleetSites(k, groups, servers, slots), slots, iters, workers)
+
+	sites := makeFleetSites(k, groups, servers, slots)
+	f, err := NewFleet(sites, 0.005, slots, gsd.Options{Delta: 1e4, MaxIters: iters, Seed: 2013})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.SetWorkers(workers); err != nil {
+		t.Fatal(err)
+	}
+	reg := telemetry.NewRegistry()
+	f.Instrument(telemetry.NewFleetMetrics(reg, "fleet"))
+
+	h := fnv.New64a()
+	var wantCost, wantGrid float64
+	wantLoad := make(map[string]float64, k)
+	capRPS := f.TotalCapacityRPS()
+	for tt := 0; tt < slots; tt++ {
+		lambda := capRPS * (0.15 + 0.5*float64(tt)/float64(slots))
+		out, err := f.Step(lambda, 5e5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hashFleetOutcome(h, out)
+		wantCost += out.TotalCostUSD
+		wantGrid += out.TotalGridKWh
+		for i, so := range out.Sites {
+			wantLoad[sites[i].Name] += so.LoadRPS
+		}
+		f.Settle(out)
+	}
+	var buf [8]byte
+	for i := range sites {
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(f.Queue(i)))
+		h.Write(buf[:])
+	}
+	if got := h.Sum64(); got != base {
+		t.Fatalf("instrumentation changed outcomes: bare %016x instrumented %016x", base, got)
+	}
+
+	snap := reg.Snapshot()
+	if got := snap.Counters["fleet.steps"]; got != slots {
+		t.Errorf("fleet.steps = %v, want %d", got, slots)
+	}
+	if got := snap.Counters["fleet.total_usd"]; got != wantCost {
+		t.Errorf("fleet.total_usd = %v, want %v", got, wantCost)
+	}
+	if got := snap.Counters["fleet.grid_kwh"]; got != wantGrid {
+		t.Errorf("fleet.grid_kwh = %v, want %v", got, wantGrid)
+	}
+	if got := snap.Histograms["fleet.step_seconds"].Count; got != slots {
+		t.Errorf("fleet.step_seconds count = %d, want %d", got, slots)
+	}
+	load := snap.LabeledCounters["fleet.site.load_rps"]
+	deficit := snap.LabeledGauges["fleet.site.deficit_kwh"]
+	for i, s := range sites {
+		if got, ok := load.Get(s.Name); !ok || got != wantLoad[s.Name] {
+			t.Errorf("fleet.site.load_rps{site=%q} = %v (ok=%v), want %v", s.Name, got, ok, wantLoad[s.Name])
+		}
+		if got, ok := deficit.Get(s.Name); !ok || got != f.Queue(i) {
+			t.Errorf("fleet.site.deficit_kwh{site=%q} = %v (ok=%v), want %v", s.Name, got, ok, f.Queue(i))
+		}
+	}
+	// The per-shard solver stats flow through Opts.Metrics: any site that
+	// carried load ran at least one GSD solve under its own label.
+	shardSolves := snap.LabeledCounters["fleet.shard.solves"]
+	for _, s := range sites {
+		if wantLoad[s.Name] == 0 {
+			continue
+		}
+		if got, ok := shardSolves.Get(s.Name); !ok || got <= 0 {
+			t.Errorf("fleet.shard.solves{site=%q} = %v (ok=%v), want > 0", s.Name, got, ok)
+		}
 	}
 }
 

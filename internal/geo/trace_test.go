@@ -163,16 +163,19 @@ func TestStepMetrics(t *testing.T) {
 	}
 	var loadSum float64
 	for i, s := range sys.Sites {
-		p := "geo.site." + s.Name + "."
-		if got := snap.Counters[p+"load_rps"]; got != out.Sites[i].LoadRPS {
-			t.Fatalf("%sload_rps = %v, want %v", p, got, out.Sites[i].LoadRPS)
+		load, ok := snap.LabeledCounters["geo.site.load_rps"].Get(s.Name)
+		if !ok || load != out.Sites[i].LoadRPS {
+			t.Fatalf("geo.site.load_rps{site=%q} = %v (ok=%v), want %v",
+				s.Name, load, ok, out.Sites[i].LoadRPS)
 		}
-		loadSum += snap.Counters[p+"load_rps"]
-		if got := snap.Counters[p+"cost_usd"]; got != out.Sites[i].CostUSD {
-			t.Fatalf("%scost_usd = %v, want %v", p, got, out.Sites[i].CostUSD)
+		loadSum += load
+		cost, ok := snap.LabeledCounters["geo.site.cost_usd"].Get(s.Name)
+		if !ok || cost != out.Sites[i].CostUSD {
+			t.Fatalf("geo.site.cost_usd{site=%q} = %v (ok=%v), want %v",
+				s.Name, cost, ok, out.Sites[i].CostUSD)
 		}
-		if _, ok := snap.Gauges[p+"deficit_kwh"]; !ok {
-			t.Fatalf("%sdeficit_kwh gauge not registered after Settle", p)
+		if _, ok := snap.LabeledGauges["geo.site.deficit_kwh"].Get(s.Name); !ok {
+			t.Fatalf("geo.site.deficit_kwh{site=%q} not set after Settle", s.Name)
 		}
 	}
 	if loadSum < 600-1e-6 || loadSum > 600+1e-6 {

@@ -153,6 +153,9 @@ func SolveDistributed(p *dcmodel.SlotProblem, opts Options) (Result, error) {
 				split = sweep.Child("gsd.loadsplit")
 			}
 			sol, rounds, lbErr := loadbalance.SolveDistributedCounted(p, e.speeds)
+			if m := opts.Metrics; m != nil && m.DualRounds != nil {
+				m.DualRounds.Add(float64(rounds))
+			}
 			if sweep != nil {
 				split.Set(span.Int("dual_rounds", rounds))
 				if lbErr != nil {

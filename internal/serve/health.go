@@ -1,0 +1,84 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"sync"
+)
+
+// Liveness vs readiness: /healthz answers "is the process serving HTTP
+// at all" and is unconditionally 200 once the listener is up — an
+// orchestrator restarts on its failure. /readyz answers "should traffic
+// be routed here" by evaluating registered probes (restore finished,
+// checkpoint loop healthy, feed not stalled) and flips to 503 while any
+// probe fails — an orchestrator drains, but does not kill, on that.
+
+// Readiness aggregates named readiness probes behind one /readyz
+// endpoint. Probes run on every request, so the answer reflects the
+// moment of the query, not a cached state. Zero probes means ready: a
+// daemon with nothing to wait for serves immediately.
+type Readiness struct {
+	mu     sync.Mutex
+	probes []readyProbe
+}
+
+type readyProbe struct {
+	name  string
+	probe func() error
+}
+
+// NewReadiness returns an empty (always-ready) probe set.
+func NewReadiness() *Readiness { return &Readiness{} }
+
+// Add registers a named probe. A nil error from probe means that aspect
+// is ready; the error message is surfaced verbatim in the /readyz body.
+func (rd *Readiness) Add(name string, probe func() error) {
+	rd.mu.Lock()
+	defer rd.mu.Unlock()
+	rd.probes = append(rd.probes, readyProbe{name: name, probe: probe})
+}
+
+// ReadyState is the /readyz document.
+type ReadyState struct {
+	Ready  bool              `json:"ready"`
+	Checks map[string]string `json:"checks,omitempty"` // name → "ok" or the failure
+}
+
+// Evaluate runs every probe and reports the aggregate.
+func (rd *Readiness) Evaluate() ReadyState {
+	rd.mu.Lock()
+	probes := append([]readyProbe(nil), rd.probes...)
+	rd.mu.Unlock()
+	st := ReadyState{Ready: true}
+	if len(probes) > 0 {
+		st.Checks = make(map[string]string, len(probes))
+	}
+	for _, p := range probes {
+		if err := p.probe(); err != nil {
+			st.Ready = false
+			st.Checks[p.name] = err.Error()
+		} else {
+			st.Checks[p.name] = "ok"
+		}
+	}
+	return st
+}
+
+// ServeHTTP answers /readyz: the ReadyState as JSON, 200 when ready and
+// 503 while any probe fails.
+func (rd *Readiness) ServeHTTP(w http.ResponseWriter, _ *http.Request) {
+	st := rd.Evaluate()
+	w.Header().Set("Content-Type", "application/json")
+	if !st.Ready {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(st)
+}
+
+// handleHealthz is the liveness probe: serving it at all is the check.
+func handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	_, _ = w.Write([]byte("ok\n"))
+}

@@ -1,0 +1,61 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+func readyzState(t *testing.T, rd *Readiness) (int, ReadyState) {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	rd.ServeHTTP(rec, httptest.NewRequest("GET", "/readyz", nil))
+	var st ReadyState
+	if err := json.Unmarshal(rec.Body.Bytes(), &st); err != nil {
+		t.Fatalf("/readyz body does not decode: %v\n%s", err, rec.Body.String())
+	}
+	return rec.Code, st
+}
+
+// TestReadinessZeroProbes: a daemon with nothing to wait for is ready.
+func TestReadinessZeroProbes(t *testing.T) {
+	code, st := readyzState(t, NewReadiness())
+	if code != http.StatusOK || !st.Ready {
+		t.Fatalf("empty readiness = %d %+v, want 200 ready", code, st)
+	}
+}
+
+// TestReadinessFailingProbe: one failing probe flips the aggregate to 503
+// and its message is surfaced by name; recovery flips it back without
+// re-registration — probes run per request.
+func TestReadinessFailingProbe(t *testing.T) {
+	rd := NewReadiness()
+	var restoreErr error = errors.New("restore in progress")
+	rd.Add("restore", func() error { return restoreErr })
+	rd.Add("checkpoint", func() error { return nil })
+
+	code, st := readyzState(t, rd)
+	if code != http.StatusServiceUnavailable || st.Ready {
+		t.Fatalf("failing probe = %d %+v, want 503 not-ready", code, st)
+	}
+	if st.Checks["restore"] != "restore in progress" || st.Checks["checkpoint"] != "ok" {
+		t.Fatalf("checks = %v", st.Checks)
+	}
+
+	restoreErr = nil
+	code, st = readyzState(t, rd)
+	if code != http.StatusOK || !st.Ready || st.Checks["restore"] != "ok" {
+		t.Fatalf("recovered probe = %d %+v, want 200 ready", code, st)
+	}
+}
+
+// TestHealthzAlwaysOK: liveness does not consult readiness.
+func TestHealthzAlwaysOK(t *testing.T) {
+	rec := httptest.NewRecorder()
+	handleHealthz(rec, httptest.NewRequest("GET", "/healthz", nil))
+	if rec.Code != http.StatusOK || rec.Body.String() != "ok\n" {
+		t.Fatalf("/healthz = %d %q", rec.Code, rec.Body.String())
+	}
+}

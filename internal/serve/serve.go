@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/telemetry"
@@ -102,16 +103,45 @@ type Metrics struct {
 	TotalUSD *telemetry.Gauge
 	GridKWh  *telemetry.Gauge
 	Queue    *telemetry.Gauge
+
+	// SettleLagSeconds is the age of the most recently settled slot,
+	// refreshed on every registry scrape (the Handler hooks it) — a
+	// stalled feed shows up as a monotonically climbing lag.
+	SettleLagSeconds *telemetry.Gauge
+
+	// StepSeconds distributes slot turnaround as seen by Step —
+	// validation through settle, the lock held.
+	StepSeconds *telemetry.Histogram
 }
 
 // NewMetrics registers service instruments under prefix.
 func NewMetrics(r *telemetry.Registry, prefix string) *Metrics {
 	return &Metrics{
-		Slots:    r.Counter(prefix + ".slots"),
-		Rejected: r.Counter(prefix + ".rejected"),
-		TotalUSD: r.Gauge(prefix + ".total_usd"),
-		GridKWh:  r.Gauge(prefix + ".grid_kwh"),
-		Queue:    r.Gauge(prefix + ".queue_kwh"),
+		Slots:            r.Counter(prefix + ".slots"),
+		Rejected:         r.Counter(prefix + ".rejected"),
+		TotalUSD:         r.Gauge(prefix + ".total_usd"),
+		GridKWh:          r.Gauge(prefix + ".grid_kwh"),
+		Queue:            r.Gauge(prefix + ".queue_kwh"),
+		SettleLagSeconds: r.Gauge(prefix + ".settle_lag_seconds"),
+		StepSeconds:      r.Histogram(prefix+".step_seconds", telemetry.ExpBuckets(1e-5, 4, 12)),
+	}
+}
+
+// NewSiteMetrics registers the same service instruments as site-labeled
+// vector children, so a daemon that is one site of a larger deployment
+// exposes coca_slots{site="…"}-style series a fleet scraper can
+// aggregate. Cardinality: the site label is the deployment's bounded
+// site name, never a per-slot or per-request value.
+func NewSiteMetrics(r *telemetry.Registry, prefix, site string) *Metrics {
+	p := prefix + "."
+	return &Metrics{
+		Slots:            r.LabeledCounter(p+"slots", "settled slots", "site").With(site),
+		Rejected:         r.LabeledCounter(p+"rejected", "slot inputs rejected before settling", "site").With(site),
+		TotalUSD:         r.LabeledGauge(p+"total_usd", "cumulative operating cost", "site").With(site),
+		GridKWh:          r.LabeledGauge(p+"grid_kwh", "cumulative grid draw", "site").With(site),
+		Queue:            r.LabeledGauge(p+"queue_kwh", "carbon-deficit queue length", "site").With(site),
+		SettleLagSeconds: r.LabeledGauge(p+"settle_lag_seconds", "age of the last settled slot", "site").With(site),
+		StepSeconds:      r.LabeledHistogram(p+"step_seconds", "slot turnaround through Step", telemetry.ExpBuckets(1e-5, 4, 12), "site").With(site),
 	}
 }
 
@@ -119,13 +149,14 @@ func NewMetrics(r *telemetry.Registry, prefix string) *Metrics {
 // concurrent use; slots are strictly serialized, so concurrent ingestors
 // interleave at slot granularity.
 type Service struct {
-	mu       sync.Mutex
-	ctrl     *core.Controller
-	hash     uint64
-	totalUSD float64
-	gridKWh  float64
-	restored bool
-	metrics  *Metrics
+	mu         sync.Mutex
+	ctrl       *core.Controller
+	hash       uint64
+	totalUSD   float64
+	gridKWh    float64
+	restored   bool
+	metrics    *Metrics
+	lastSettle time.Time // wall clock of the most recent settled slot
 
 	// onSettle, when set, runs after every settled slot while the service
 	// lock is held (the slot count is the settled total). The daemon uses
@@ -189,6 +220,10 @@ func (s *Service) Step(in SlotInput) (Decision, error) {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	var stepStart time.Time
+	if s.metrics != nil {
+		stepStart = time.Now()
+	}
 	out, err := s.ctrl.Step(core.SlotEnv{
 		LambdaRPS:      in.LambdaRPS,
 		OnsiteKW:       in.OnsiteKW,
@@ -217,10 +252,14 @@ func (s *Service) Step(in SlotInput) (Decision, error) {
 	h = foldFloat(h, s.ctrl.Queue())
 	s.hash = h
 
+	s.lastSettle = time.Now()
 	if s.metrics != nil {
 		s.metrics.Slots.Inc()
 		s.metrics.TotalUSD.Set(s.totalUSD)
 		s.metrics.GridKWh.Set(s.gridKWh)
+		if s.metrics.StepSeconds != nil {
+			s.metrics.StepSeconds.Observe(s.lastSettle.Sub(stepStart).Seconds())
+		}
 	}
 	if s.onSettle != nil {
 		s.onSettle(s.ctrl.Slot())
@@ -250,6 +289,31 @@ func (s *Service) State() State {
 		Hash:     hashString(s.hash),
 		Restored: s.restored,
 	}
+}
+
+// SettleAge reports how long ago the last slot settled; ok is false
+// before the first settle (including right after a restore, which
+// restores state but settles nothing). Readiness probes bound this age
+// to catch a stalled feed.
+func (s *Service) SettleAge() (time.Duration, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.lastSettle.IsZero() {
+		return 0, false
+	}
+	return time.Since(s.lastSettle), true
+}
+
+// refreshSettleLag refreshes the settle-lag gauge; the Handler registers
+// it as a registry scrape hook so the lag is current at scrape time
+// rather than frozen at the last settle.
+func (s *Service) refreshSettleLag() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.metrics == nil || s.metrics.SettleLagSeconds == nil || s.lastSettle.IsZero() {
+		return
+	}
+	s.metrics.SettleLagSeconds.Set(time.Since(s.lastSettle).Seconds())
 }
 
 // Checkpoint snapshots the service (controller state included) between

@@ -8,28 +8,48 @@ import (
 	"net/http/pprof"
 	"sync"
 
+	"repro/internal/telemetry/promtext"
 	"repro/internal/telemetry/span"
 )
 
-var publishOnce sync.Once
+var (
+	publishMu        sync.Mutex
+	publishedExpvars *Registry
+)
 
 // PublishExpvar exposes the registry under the "coca" expvar name, so
 // /debug/vars carries the full snapshot next to the runtime's memstats.
-// Only the first registry wins the name (expvar panics on duplicates);
-// one process, one published registry.
-func PublishExpvar(r *Registry) {
-	publishOnce.Do(func() {
+// Expvar is a process-wide singleton with no Unpublish (and a panic on
+// duplicate names), so only the first registry published wins the name.
+// The return value reports whether r is the exported registry; a false
+// means some earlier registry owns /debug/vars and the caller should log
+// that this one is not exported rather than silently believing it is.
+func PublishExpvar(r *Registry) bool {
+	publishMu.Lock()
+	defer publishMu.Unlock()
+	if publishedExpvars == nil {
+		publishedExpvars = r
 		expvar.Publish("coca", expvar.Func(func() any { return r.Snapshot() }))
-	})
+	}
+	return publishedExpvars == r
+}
+
+// RegisterOpts tunes which observability endpoints Register mounts.
+type RegisterOpts struct {
+	// NoPprof leaves the /debug/pprof endpoints unmounted — for
+	// production listeners where live profiling and symbol dumps should
+	// not ride the public control plane.
+	NoPprof bool
 }
 
 // Handler serves the observability endpoints:
 //
-//	/metrics      — the registry snapshot as JSON
-//	/spans        — the span tracer's buffer summary as JSON (404 when
-//	                no tracer is attached)
-//	/debug/vars   — expvar (includes the registry via PublishExpvar)
-//	/debug/pprof/ — the standard pprof index, profiles and traces
+//	/metrics       — Prometheus text exposition (flat + labeled series)
+//	/metrics.json  — the registry snapshot as JSON
+//	/spans         — the span tracer's buffer summary as JSON (404 when
+//	                 no tracer is attached)
+//	/debug/vars    — expvar (includes the registry via PublishExpvar)
+//	/debug/pprof/  — the standard pprof index, profiles and traces
 //
 // tr may be nil: a metrics-only process simply has no /spans data.
 func Handler(r *Registry, tr *span.Tracer) http.Handler {
@@ -39,11 +59,26 @@ func Handler(r *Registry, tr *span.Tracer) http.Handler {
 }
 
 // Register mounts the observability endpoints of Handler onto an existing
-// mux, so a process serving its own API (the cocad control plane) exposes
-// application and telemetry endpoints from one listener.
+// mux with default options, so a process serving its own API (the cocad
+// control plane) exposes application and telemetry endpoints from one
+// listener.
 func Register(mux *http.ServeMux, r *Registry, tr *span.Tracer) {
+	RegisterWith(mux, r, tr, RegisterOpts{})
+}
+
+// RegisterWith is Register with explicit options (pprof gating).
+func RegisterWith(mux *http.ServeMux, r *Registry, tr *span.Tracer, opts RegisterOpts) {
+	// Best effort: when a second registry is mounted in one process only
+	// the first owns /debug/vars. Callers that care check PublishExpvar
+	// themselves (cocad logs the loss).
 	PublishExpvar(r)
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", promtext.ContentType)
+		if err := r.WritePrometheus(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		if err := r.WriteJSON(w); err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
@@ -62,11 +97,13 @@ func Register(mux *http.ServeMux, r *Registry, tr *span.Tracer) {
 		}
 	})
 	mux.Handle("/debug/vars", expvar.Handler())
-	mux.HandleFunc("/debug/pprof/", pprof.Index)
-	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
-	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	if !opts.NoPprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 }
 
 // Serve binds addr and serves Handler(r, tr) in the background. It

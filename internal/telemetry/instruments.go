@@ -79,13 +79,15 @@ func (m *RunMetrics) Observer() sim.Observer {
 
 // SolveMetrics instruments a P3 solver (GSD): solve counts, iteration
 // and acceptance totals, early patience exits, warm-start cold
-// fallbacks, and the per-solve wall-time distribution.
+// fallbacks, distributed dual-decomposition rounds, and the per-solve
+// wall-time distribution.
 type SolveMetrics struct {
 	Solves        *Counter
 	Iterations    *Counter
 	Accepted      *Counter
 	PatienceExits *Counter // solves stopped early by the patience criterion
 	ColdFallbacks *Counter // warm starts dropped (stale length or infeasible)
+	DualRounds    *Counter // dual-decomposition rounds (distributed engine only)
 
 	SolveSeconds *Histogram // wall time per solve
 	ItersPerRun  *Histogram // iterations per solve (convergence effort)
@@ -100,6 +102,7 @@ func NewSolveMetrics(r *Registry, prefix string) *SolveMetrics {
 		Accepted:      r.Counter(p + "accepted_moves"),
 		PatienceExits: r.Counter(p + "patience_exits"),
 		ColdFallbacks: r.Counter(p + "cold_fallbacks"),
+		DualRounds:    r.Counter(p + "dual_rounds"),
 		SolveSeconds:  r.Histogram(p+"solve_seconds", ExpBuckets(1e-5, 4, 12)),
 		ItersPerRun:   r.Histogram(p+"iterations_per_solve", ExpBuckets(8, 2, 12)),
 	}
@@ -117,7 +120,9 @@ func (m *SolveMetrics) FinishSolve(iters, accepted int, patienceExit bool, secon
 	m.ItersPerRun.Observe(float64(iters))
 }
 
-// GeoSiteMetrics is one federation site's slice of GeoMetrics.
+// GeoSiteMetrics is one federation site's slice of GeoMetrics. The
+// instruments are children of site-labeled vectors, so the exposition
+// renders them as geo_site_*{site="…"} series.
 type GeoSiteMetrics struct {
 	Solves     *Counter // slots in which the site carried load (one P3 solve each)
 	LoadRPS    *Counter // running allocated load
@@ -128,7 +133,7 @@ type GeoSiteMetrics struct {
 }
 
 // GeoMetrics instruments a geo federation run: federation-level step and
-// cost totals plus a per-site breakdown. It deliberately takes plain
+// cost totals plus a site-labeled breakdown. It deliberately takes plain
 // values, not geo types, so package geo can import telemetry without a
 // cycle. All methods are nil-safe.
 type GeoMetrics struct {
@@ -140,14 +145,19 @@ type GeoMetrics struct {
 	MemoHits    *Counter // candidate reads served by the per-slot memo table
 	SolveErrors *Counter // real (non-infeasibility) solver failures surfaced by Step
 
-	registry *Registry
-	prefix   string
-	sites    map[string]*GeoSiteMetrics
+	siteSolves  *LabeledCounter
+	siteLoad    *LabeledCounter
+	siteChunks  *LabeledCounter
+	siteCost    *LabeledCounter
+	siteGrid    *LabeledCounter
+	siteDeficit *LabeledGauge
+	sites       map[string]*GeoSiteMetrics // cached per-site handles
 }
 
 // NewGeoMetrics registers federation instruments under prefix
-// (conventionally "geo"); per-site instruments appear lazily as
-// "<prefix>.site.<name>.*" the first time a site is observed.
+// (conventionally "geo"); per-site series live in site-labeled vectors
+// ("<prefix>.site.solves"{site="…"}, …), their tuples interned the first
+// time a site is observed.
 func NewGeoMetrics(r *Registry, prefix string) *GeoMetrics {
 	p := prefix + "."
 	return &GeoMetrics{
@@ -157,13 +167,17 @@ func NewGeoMetrics(r *Registry, prefix string) *GeoMetrics {
 		P3Solves:    r.Counter(p + "p3_solves"),
 		MemoHits:    r.Counter(p + "memo_hits"),
 		SolveErrors: r.Counter(p + "solve_errors"),
-		registry:    r,
-		prefix:      prefix,
+		siteSolves:  r.LabeledCounter(p+"site.solves", "slots in which the site carried load", "site"),
+		siteLoad:    r.LabeledCounter(p+"site.load_rps", "running load allocated to the site", "site"),
+		siteChunks:  r.LabeledCounter(p+"site.chunks", "greedy allocation chunks won by the site", "site"),
+		siteCost:    r.LabeledCounter(p+"site.cost_usd", "running site cost (w*grid + beta*delay)", "site"),
+		siteGrid:    r.LabeledCounter(p+"site.grid_kwh", "running site grid draw", "site"),
+		siteDeficit: r.LabeledGauge(p+"site.deficit_kwh", "site carbon-deficit queue length", "site"),
 		sites:       make(map[string]*GeoSiteMetrics),
 	}
 }
 
-// Site returns (registering on first use) the named site's instruments.
+// Site returns (interning on first use) the named site's instruments.
 func (m *GeoMetrics) Site(name string) *GeoSiteMetrics {
 	if m == nil {
 		return nil
@@ -171,14 +185,13 @@ func (m *GeoMetrics) Site(name string) *GeoSiteMetrics {
 	if s, ok := m.sites[name]; ok {
 		return s
 	}
-	p := m.prefix + ".site." + name + "."
 	s := &GeoSiteMetrics{
-		Solves:     m.registry.Counter(p + "solves"),
-		LoadRPS:    m.registry.Counter(p + "load_rps"),
-		Chunks:     m.registry.Counter(p + "chunks"),
-		CostUSD:    m.registry.Counter(p + "cost_usd"),
-		GridKWh:    m.registry.Counter(p + "grid_kwh"),
-		DeficitKWh: m.registry.Gauge(p + "deficit_kwh"),
+		Solves:     m.siteSolves.With(name),
+		LoadRPS:    m.siteLoad.With(name),
+		Chunks:     m.siteChunks.With(name),
+		CostUSD:    m.siteCost.With(name),
+		GridKWh:    m.siteGrid.With(name),
+		DeficitKWh: m.siteDeficit.With(name),
 	}
 	m.sites[name] = s
 	return s
@@ -236,6 +249,138 @@ func (m *GeoMetrics) SetDeficit(name string, kwh float64) {
 		return
 	}
 	m.Site(name).DeficitKWh.Set(kwh)
+}
+
+// FleetSiteMetrics is one fleet site's slice of FleetMetrics: the slot
+// outcome series. Solver-side stats (iterations, dual rounds, solve wall
+// time) live in the per-shard SolveMetrics from SiteSolveMetrics.
+type FleetSiteMetrics struct {
+	LoadRPS     *Counter // running load allocated to the site
+	CostUSD     *Counter // running site cost (w·grid + β·delay)
+	GridKWh     *Counter // running grid draw
+	SolveErrors *Counter // solver failures surfaced by the site's shard
+	DeficitKWh  *Gauge   // current carbon-deficit queue length
+}
+
+// FleetMetrics instruments a geo.Fleet run: fleet-level step totals and
+// wall time plus a site-labeled breakdown, including per-shard GSD solve
+// stats assembled from the same labeled vectors (SiteSolveMetrics). Like
+// GeoMetrics it takes plain values so geo imports telemetry, not the
+// other way round. All methods are nil-safe.
+type FleetMetrics struct {
+	Steps       *Counter   // stepped fleet slots
+	TotalUSD    *Counter   // running fleet cost
+	GridKWh     *Counter   // running fleet grid draw
+	StepSeconds *Histogram // wall time per fleet Step (fan-out included)
+
+	siteLoad    *LabeledCounter
+	siteCost    *LabeledCounter
+	siteGrid    *LabeledCounter
+	siteErrors  *LabeledCounter
+	siteDeficit *LabeledGauge
+
+	// Per-shard GSD solve stats, one SolveMetrics view per site.
+	shardSolves   *LabeledCounter
+	shardIters    *LabeledCounter
+	shardAccepted *LabeledCounter
+	shardPatience *LabeledCounter
+	shardCold     *LabeledCounter
+	shardDual     *LabeledCounter
+	shardSeconds  *LabeledHistogram
+	shardItersRun *LabeledHistogram
+
+	sites  map[string]*FleetSiteMetrics
+	shards map[string]*SolveMetrics
+}
+
+// NewFleetMetrics registers fleet instruments under prefix
+// (conventionally "fleet"). Site series are labeled vectors
+// ("<prefix>.site.load_rps"{site="…"}, …); shard solver series mirror
+// SolveMetrics names under "<prefix>.shard.*"{site="…"}.
+func NewFleetMetrics(r *Registry, prefix string) *FleetMetrics {
+	p := prefix + "."
+	return &FleetMetrics{
+		Steps:       r.Counter(p + "steps"),
+		TotalUSD:    r.Counter(p + "total_usd"),
+		GridKWh:     r.Counter(p + "grid_kwh"),
+		StepSeconds: r.Histogram(p+"step_seconds", ExpBuckets(1e-5, 4, 14)),
+
+		siteLoad:    r.LabeledCounter(p+"site.load_rps", "running load allocated to the site", "site"),
+		siteCost:    r.LabeledCounter(p+"site.cost_usd", "running site cost (w*grid + beta*delay)", "site"),
+		siteGrid:    r.LabeledCounter(p+"site.grid_kwh", "running site grid draw", "site"),
+		siteErrors:  r.LabeledCounter(p+"site.solve_errors", "solver failures surfaced by the site's shard", "site"),
+		siteDeficit: r.LabeledGauge(p+"site.deficit_kwh", "site carbon-deficit queue length", "site"),
+
+		shardSolves:   r.LabeledCounter(p+"shard.solves", "GSD solves run by the site's shard", "site"),
+		shardIters:    r.LabeledCounter(p+"shard.iterations", "GSD iterations spent by the site's shard", "site"),
+		shardAccepted: r.LabeledCounter(p+"shard.accepted_moves", "GSD moves accepted by the site's shard", "site"),
+		shardPatience: r.LabeledCounter(p+"shard.patience_exits", "solves stopped early by the patience criterion", "site"),
+		shardCold:     r.LabeledCounter(p+"shard.cold_fallbacks", "warm starts dropped by the site's shard", "site"),
+		shardDual:     r.LabeledCounter(p+"shard.dual_rounds", "dual-decomposition rounds run by the site's shard", "site"),
+		shardSeconds:  r.LabeledHistogram(p+"shard.solve_seconds", "wall time per shard solve", ExpBuckets(1e-5, 4, 12), "site"),
+		shardItersRun: r.LabeledHistogram(p+"shard.iterations_per_solve", "iterations per shard solve", ExpBuckets(8, 2, 12), "site"),
+
+		sites:  make(map[string]*FleetSiteMetrics),
+		shards: make(map[string]*SolveMetrics),
+	}
+}
+
+// Site returns (interning on first use) the named site's outcome
+// instruments.
+func (m *FleetMetrics) Site(name string) *FleetSiteMetrics {
+	if m == nil {
+		return nil
+	}
+	if s, ok := m.sites[name]; ok {
+		return s
+	}
+	s := &FleetSiteMetrics{
+		LoadRPS:     m.siteLoad.With(name),
+		CostUSD:     m.siteCost.With(name),
+		GridKWh:     m.siteGrid.With(name),
+		SolveErrors: m.siteErrors.With(name),
+		DeficitKWh:  m.siteDeficit.With(name),
+	}
+	m.sites[name] = s
+	return s
+}
+
+// SiteSolveMetrics returns (interning on first use) a SolveMetrics view
+// over the named site's shard series: every field is the site's child of
+// the corresponding labeled vector, so handing it to the site's
+// gsd.Solver (Opts.Metrics) records per-shard stats at exactly the flat
+// SolveMetrics cost.
+func (m *FleetMetrics) SiteSolveMetrics(name string) *SolveMetrics {
+	if m == nil {
+		return nil
+	}
+	if s, ok := m.shards[name]; ok {
+		return s
+	}
+	s := &SolveMetrics{
+		Solves:        m.shardSolves.With(name),
+		Iterations:    m.shardIters.With(name),
+		Accepted:      m.shardAccepted.With(name),
+		PatienceExits: m.shardPatience.With(name),
+		ColdFallbacks: m.shardCold.With(name),
+		DualRounds:    m.shardDual.With(name),
+		SolveSeconds:  m.shardSeconds.With(name),
+		ItersPerRun:   m.shardItersRun.With(name),
+	}
+	m.shards[name] = s
+	return s
+}
+
+// ObserveStep folds one fleet slot's totals and wall time into the
+// instruments.
+func (m *FleetMetrics) ObserveStep(totalUSD, totalGridKWh, seconds float64) {
+	if m == nil {
+		return
+	}
+	m.Steps.Inc()
+	m.TotalUSD.Add(totalUSD)
+	m.GridKWh.Add(totalGridKWh)
+	m.StepSeconds.Observe(seconds)
 }
 
 // BatchMetrics instruments the batch-job scheduler: submission and

@@ -1,0 +1,249 @@
+package telemetry
+
+import (
+	"encoding/binary"
+	"sort"
+	"sync"
+)
+
+// Labeled vectors: dimensional instruments keyed by a small label tuple
+// (site, endpoint, shard, …). The design goals mirror the flat core:
+//
+//   - The hot path is allocation-free. With interns its tuple once; the
+//     child it returns IS a plain *Counter/*Gauge/*Histogram, so callers
+//     that cache the handle (the fleet does, per site) pay exactly the
+//     flat-instrument cost per emission. Even an uncached With resolves
+//     through a stack key buffer and an allocation-free map lookup.
+//   - Lookups are lock-striped: tuples hash onto vecStripes independent
+//     RWMutex-guarded maps, so concurrent writers on different label
+//     values rarely contend.
+//   - Snapshots are deterministic: series are sorted by label values, so
+//     two snapshots of the same state render byte-identically (the golden
+//     exposition test pins this).
+//
+// Cardinality is the caller's contract: label values must be drawn from a
+// bounded set (site names, endpoint paths, shard ids — never slot numbers
+// or request ids), because every distinct tuple allocates a child that
+// lives for the registry's lifetime.
+
+// vecStripes is the lock-stripe fan-out. 16 stripes keep the per-stripe
+// maps small and let a 16-site fleet update mostly contention-free while
+// costing four words of overhead per empty stripe.
+const vecStripes = 16
+
+type vecEntry[T any] struct {
+	values []string // interned copy of the label tuple, lookup key order
+	child  *T
+}
+
+type vecStripe[T any] struct {
+	mu sync.RWMutex
+	m  map[string]*vecEntry[T]
+}
+
+// vec is the generic core shared by the three labeled instrument kinds.
+type vec[T any] struct {
+	name     string
+	help     string
+	keys     []string  // label names, fixed at construction
+	newChild func() *T // builds a zero-valued child instrument
+	stripes  [vecStripes]vecStripe[T]
+}
+
+// appendTupleKey encodes the label values into dst as a length-prefixed
+// byte string — collision-free for any values, unlike a separator join.
+func appendTupleKey(dst []byte, values []string) []byte {
+	for _, v := range values {
+		dst = binary.AppendUvarint(dst, uint64(len(v)))
+		dst = append(dst, v...)
+	}
+	return dst
+}
+
+// stripeOf hashes a tuple key onto a stripe (FNV-1a).
+func stripeOf(key []byte) int {
+	h := uint64(14695981039346656037)
+	for _, b := range key {
+		h = (h ^ uint64(b)) * 1099511628211
+	}
+	return int(h % vecStripes)
+}
+
+// with resolves (interning on first use) the child for the tuple. The key
+// is built in a stack buffer and the read-path map access converts it
+// without allocating, so repeat lookups are allocation-free.
+func (v *vec[T]) with(values []string) *T {
+	if len(values) != len(v.keys) {
+		panic("telemetry: " + v.name + ": wrong number of label values")
+	}
+	var buf [64]byte
+	key := appendTupleKey(buf[:0], values)
+	s := &v.stripes[stripeOf(key)]
+	s.mu.RLock()
+	e := s.m[string(key)]
+	s.mu.RUnlock()
+	if e != nil {
+		return e.child
+	}
+	return v.create(key, values)
+}
+
+// create interns a new tuple under the stripe's write lock, rechecking for
+// a racing creator so exactly one child exists per tuple.
+func (v *vec[T]) create(key []byte, values []string) *T {
+	s := &v.stripes[stripeOf(key)]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e := s.m[string(key)]; e != nil {
+		return e.child
+	}
+	if s.m == nil {
+		s.m = make(map[string]*vecEntry[T])
+	}
+	vals := make([]string, len(values))
+	copy(vals, values)
+	e := &vecEntry[T]{values: vals, child: v.newChild()}
+	s.m[string(key)] = e
+	return e.child
+}
+
+// entries returns every interned (tuple, child) pair sorted by label
+// values — the deterministic order every snapshot and exposition uses.
+func (v *vec[T]) entries() []*vecEntry[T] {
+	var out []*vecEntry[T]
+	for i := range v.stripes {
+		s := &v.stripes[i]
+		s.mu.RLock()
+		for _, e := range s.m {
+			out = append(out, e)
+		}
+		s.mu.RUnlock()
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return lessTuple(out[i].values, out[j].values)
+	})
+	return out
+}
+
+// lessTuple orders label tuples lexicographically value by value.
+func lessTuple(a, b []string) bool {
+	for i := range a {
+		if i >= len(b) {
+			return false
+		}
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}
+
+// LabeledCounter is a counter vector: one Counter per label tuple.
+type LabeledCounter struct {
+	vec[Counter]
+}
+
+// With returns the counter for the tuple, interning it on first use. The
+// returned handle is a plain *Counter; cache it on hot paths.
+func (c *LabeledCounter) With(values ...string) *Counter { return c.with(values) }
+
+// LabeledGauge is a gauge vector: one Gauge per label tuple.
+type LabeledGauge struct {
+	vec[Gauge]
+}
+
+// With returns the gauge for the tuple, interning it on first use.
+func (g *LabeledGauge) With(values ...string) *Gauge { return g.with(values) }
+
+// LabeledHistogram is a histogram vector: one fixed-layout Histogram per
+// label tuple, all sharing the bounds given at construction.
+type LabeledHistogram struct {
+	vec[Histogram]
+}
+
+// With returns the histogram for the tuple, interning it on first use.
+func (h *LabeledHistogram) With(values ...string) *Histogram { return h.with(values) }
+
+// LabeledSeries is one tuple's sample in a labeled snapshot.
+type LabeledSeries struct {
+	Values []string `json:"values"`
+	Value  float64  `json:"value"`
+}
+
+// LabeledSnapshot is a point-in-time copy of a counter or gauge vector,
+// series sorted by label values.
+type LabeledSnapshot struct {
+	Help   string          `json:"help,omitempty"`
+	Labels []string        `json:"labels"`
+	Series []LabeledSeries `json:"series"`
+}
+
+// Get returns the sample for the tuple, if present.
+func (s LabeledSnapshot) Get(values ...string) (float64, bool) {
+	for _, ser := range s.Series {
+		if equalTuple(ser.Values, values) {
+			return ser.Value, true
+		}
+	}
+	return 0, false
+}
+
+// LabeledHistogramSeries is one tuple's histogram in a labeled snapshot.
+type LabeledHistogramSeries struct {
+	Values []string          `json:"values"`
+	Hist   HistogramSnapshot `json:"hist"`
+}
+
+// LabeledHistogramsSnapshot is a point-in-time copy of a histogram
+// vector, series sorted by label values.
+type LabeledHistogramsSnapshot struct {
+	Help   string                   `json:"help,omitempty"`
+	Labels []string                 `json:"labels"`
+	Series []LabeledHistogramSeries `json:"series"`
+}
+
+// Get returns the histogram snapshot for the tuple, if present.
+func (s LabeledHistogramsSnapshot) Get(values ...string) (HistogramSnapshot, bool) {
+	for _, ser := range s.Series {
+		if equalTuple(ser.Values, values) {
+			return ser.Hist, true
+		}
+	}
+	return HistogramSnapshot{}, false
+}
+
+func equalTuple(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func (c *LabeledCounter) snapshot() LabeledSnapshot {
+	s := LabeledSnapshot{Help: c.help, Labels: c.keys}
+	for _, e := range c.entries() {
+		s.Series = append(s.Series, LabeledSeries{Values: e.values, Value: e.child.Value()})
+	}
+	return s
+}
+
+func (g *LabeledGauge) snapshot() LabeledSnapshot {
+	s := LabeledSnapshot{Help: g.help, Labels: g.keys}
+	for _, e := range g.entries() {
+		s.Series = append(s.Series, LabeledSeries{Values: e.values, Value: e.child.Value()})
+	}
+	return s
+}
+
+func (h *LabeledHistogram) snapshot() LabeledHistogramsSnapshot {
+	s := LabeledHistogramsSnapshot{Help: h.help, Labels: h.keys}
+	for _, e := range h.entries() {
+		s.Series = append(s.Series, LabeledHistogramSeries{Values: e.values, Hist: e.child.Snapshot()})
+	}
+	return s
+}

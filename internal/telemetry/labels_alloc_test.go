@@ -1,0 +1,36 @@
+//go:build !race
+
+package telemetry
+
+import "testing"
+
+// AllocsPerRun is meaningless under -race (the detector instruments
+// allocations), hence the build tag — mirroring the dcmodel and numopt
+// alloc tests.
+
+// TestWithSteadyStateAllocs pins the acceptance bound for per-site
+// emission in the fleet step: once a tuple is interned, With and the
+// child's Add/Observe are allocation-free.
+func TestWithSteadyStateAllocs(t *testing.T) {
+	r := NewRegistry()
+	lc := r.LabeledCounter("alloc.hits", "", "site", "kind")
+	lh := r.LabeledHistogram("alloc.lat", "", ExpBuckets(1e-5, 4, 12), "site")
+	lc.With("dc-east", "solve").Inc() // intern once
+	lh.With("dc-east").Observe(1)
+
+	if n := testing.AllocsPerRun(1000, func() {
+		lc.With("dc-east", "solve").Inc()
+	}); n != 0 {
+		t.Errorf("interned With+Inc allocates %.1f per op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() {
+		lh.With("dc-east").Observe(0.25)
+	}); n != 0 {
+		t.Errorf("interned With+Observe allocates %.1f per op, want 0", n)
+	}
+
+	c := lc.With("dc-east", "solve")
+	if n := testing.AllocsPerRun(1000, func() { c.Add(2) }); n != 0 {
+		t.Errorf("cached child Add allocates %.1f per op, want 0", n)
+	}
+}

@@ -1,0 +1,57 @@
+// Package logf builds the structured loggers the daemons log through: a
+// thin constructor over log/slog that turns a CLI-friendly format name
+// into a configured *slog.Logger. Two formats:
+//
+//	text — logfmt-style key=value records (slog.TextHandler), the
+//	       default; readable on a terminal, still machine-parseable
+//	json — one JSON object per record (slog.JSONHandler), for log
+//	       pipelines
+//
+// Daemons log events, not lines: every record is a short constant
+// message plus attributes ("slot settled" slot=17 cost=3.2), so a
+// grep for the message finds all of them and a parser never has to
+// unformat prose.
+package logf
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+)
+
+// Format names accepted by New (and the daemons' -log-format flag).
+const (
+	FormatText = "text"
+	FormatJSON = "json"
+)
+
+// Options tunes a constructed logger.
+type Options struct {
+	// Level is the minimum record level (default slog.LevelInfo).
+	Level slog.Leveler
+	// NoTime drops the time attribute from every record — for tests and
+	// golden outputs that must not depend on the clock.
+	NoTime bool
+}
+
+// New returns a logger writing format-structured records to w. An
+// unknown format is an error (the caller surfaces it as a flag error);
+// an empty format means text.
+func New(w io.Writer, format string, opts Options) (*slog.Logger, error) {
+	ho := &slog.HandlerOptions{Level: opts.Level}
+	if opts.NoTime {
+		ho.ReplaceAttr = func(groups []string, a slog.Attr) slog.Attr {
+			if len(groups) == 0 && a.Key == slog.TimeKey {
+				return slog.Attr{}
+			}
+			return a
+		}
+	}
+	switch format {
+	case FormatText, "":
+		return slog.New(slog.NewTextHandler(w, ho)), nil
+	case FormatJSON:
+		return slog.New(slog.NewJSONHandler(w, ho)), nil
+	}
+	return nil, fmt.Errorf("logf: unknown log format %q (want %s or %s)", format, FormatText, FormatJSON)
+}

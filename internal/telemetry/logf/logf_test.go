@@ -1,0 +1,69 @@
+package logf
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"log/slog"
+)
+
+func TestTextFormat(t *testing.T) {
+	var b strings.Builder
+	log, err := New(&b, FormatText, Options{NoTime: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	log.Info("listening", "addr", "127.0.0.1:8080")
+	line := b.String()
+	for _, want := range []string{"level=INFO", "msg=listening", "addr=127.0.0.1:8080"} {
+		if !strings.Contains(line, want) {
+			t.Errorf("text line %q missing %q", line, want)
+		}
+	}
+	if strings.Contains(line, "time=") {
+		t.Errorf("NoTime line still carries a timestamp: %q", line)
+	}
+}
+
+func TestJSONFormat(t *testing.T) {
+	var b strings.Builder
+	log, err := New(&b, FormatJSON, Options{NoTime: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	log.Error("checkpoint failed", "err", "disk full", "slot", 42)
+	var rec map[string]any
+	if err := json.Unmarshal([]byte(b.String()), &rec); err != nil {
+		t.Fatalf("json line does not decode: %v\n%s", err, b.String())
+	}
+	if rec["msg"] != "checkpoint failed" || rec["err"] != "disk full" || rec["slot"] != float64(42) {
+		t.Fatalf("record = %v", rec)
+	}
+	if rec["level"] != "ERROR" {
+		t.Fatalf("level = %v", rec["level"])
+	}
+	if _, ok := rec["time"]; ok {
+		t.Fatal("NoTime record still carries a time key")
+	}
+}
+
+func TestLevelFilter(t *testing.T) {
+	var b strings.Builder
+	log, err := New(&b, FormatText, Options{Level: slog.LevelWarn, NoTime: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	log.Info("dropped")
+	log.Warn("kept")
+	out := b.String()
+	if strings.Contains(out, "dropped") || !strings.Contains(out, "kept") {
+		t.Fatalf("level filter output:\n%s", out)
+	}
+}
+
+func TestUnknownFormat(t *testing.T) {
+	if _, err := New(&strings.Builder{}, "yaml", Options{}); err == nil {
+		t.Fatal("unknown format accepted")
+	}
+}

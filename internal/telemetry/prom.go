@@ -1,0 +1,223 @@
+package telemetry
+
+import (
+	"io"
+	"runtime"
+	"sort"
+
+	"repro/internal/telemetry/promtext"
+)
+
+// Prometheus text-format exposition (version 0.0.4) over the registry —
+// the /metrics surface scrapers consume. No external client library: the
+// renderer walks one deterministic Snapshot and emits families through
+// promtext, so two scrapes of identical state are byte-identical (the
+// golden exposition test pins the exact output).
+//
+// Mapping:
+//
+//   - flat Counter/Gauge         → one sample, name sanitized (dots → _)
+//   - LabeledCounter/Gauge       → one sample per tuple, sorted by values
+//   - Histogram (flat & labeled) → cumulative name_bucket{le="…"} series
+//     ending in le="+Inf", plus name_sum and name_count, plus a
+//     name_invalid counter surfacing NaN observations (NaN samples are
+//     excluded from buckets/sum/count, so without this series a producer
+//     emitting garbage would be invisible to a scraper)
+//
+// Family order is fixed (counters, gauges, labeled counters, labeled
+// gauges, histograms, labeled histograms; each sorted by name), which
+// keeps every family's samples contiguous as the format requires.
+
+// WritePrometheus renders the registry in Prometheus text format. Scrape
+// hooks run first (via Snapshot), so pull-style collectors are fresh.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	snap := r.Snapshot()
+
+	for _, name := range sortedKeys(snap.Counters) {
+		n := promtext.SanitizeName(name)
+		if err := promtext.WriteHeader(w, n, "", "counter"); err != nil {
+			return err
+		}
+		if err := promtext.WriteSample(w, n, nil, snap.Counters[name]); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeys(snap.Gauges) {
+		n := promtext.SanitizeName(name)
+		if err := promtext.WriteHeader(w, n, "", "gauge"); err != nil {
+			return err
+		}
+		if err := promtext.WriteSample(w, n, nil, snap.Gauges[name]); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeys(snap.LabeledCounters) {
+		v := snap.LabeledCounters[name]
+		n := promtext.SanitizeName(name)
+		if err := promtext.WriteHeader(w, n, v.Help, "counter"); err != nil {
+			return err
+		}
+		for _, s := range v.Series {
+			if err := promtext.WriteSample(w, n, tupleLabels(v.Labels, s.Values, ""), s.Value); err != nil {
+				return err
+			}
+		}
+	}
+	for _, name := range sortedKeys(snap.LabeledGauges) {
+		v := snap.LabeledGauges[name]
+		n := promtext.SanitizeName(name)
+		if err := promtext.WriteHeader(w, n, v.Help, "gauge"); err != nil {
+			return err
+		}
+		for _, s := range v.Series {
+			if err := promtext.WriteSample(w, n, tupleLabels(v.Labels, s.Values, ""), s.Value); err != nil {
+				return err
+			}
+		}
+	}
+	for _, name := range sortedKeys(snap.Histograms) {
+		if err := writeHistogram(w, promtext.SanitizeName(name), "", nil, nil, snap.Histograms[name]); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeys(snap.LabeledHistograms) {
+		v := snap.LabeledHistograms[name]
+		n := promtext.SanitizeName(name)
+		if err := promtext.WriteHeader(w, n, v.Help, "histogram"); err != nil {
+			return err
+		}
+		for _, s := range v.Series {
+			if err := writeHistogramSeries(w, n, v.Labels, s.Values, s.Hist); err != nil {
+				return err
+			}
+		}
+		if err := writeHistogramInvalid(w, n, v.Labels, v.Series); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeHistogram renders one flat histogram family: header, the series,
+// and the invalid-counter family.
+func writeHistogram(w io.Writer, name, help string, labelNames, values []string, h HistogramSnapshot) error {
+	if err := promtext.WriteHeader(w, name, help, "histogram"); err != nil {
+		return err
+	}
+	if err := writeHistogramSeries(w, name, labelNames, values, h); err != nil {
+		return err
+	}
+	if err := promtext.WriteHeader(w, name+"_invalid", "", "counter"); err != nil {
+		return err
+	}
+	return promtext.WriteSample(w, name+"_invalid", tupleLabels(labelNames, values, ""), float64(h.Invalid))
+}
+
+// writeHistogramSeries renders one tuple's cumulative buckets, sum and
+// count.
+func writeHistogramSeries(w io.Writer, name string, labelNames, values []string, h HistogramSnapshot) error {
+	cum := uint64(0)
+	for i, b := range h.Bounds {
+		cum += h.Counts[i]
+		le := promtext.FormatValue(b)
+		if err := promtext.WriteSample(w, name+"_bucket", tupleLabels(labelNames, values, le), float64(cum)); err != nil {
+			return err
+		}
+	}
+	// The implicit overflow bucket: cumulative count over everything.
+	if err := promtext.WriteSample(w, name+"_bucket", tupleLabels(labelNames, values, "+Inf"), float64(h.Count)); err != nil {
+		return err
+	}
+	if err := promtext.WriteSample(w, name+"_sum", tupleLabels(labelNames, values, ""), h.Sum); err != nil {
+		return err
+	}
+	return promtext.WriteSample(w, name+"_count", tupleLabels(labelNames, values, ""), float64(h.Count))
+}
+
+// writeHistogramInvalid renders the per-tuple invalid counters of a
+// labeled histogram as one trailing counter family.
+func writeHistogramInvalid(w io.Writer, name string, labelNames []string, series []LabeledHistogramSeries) error {
+	if err := promtext.WriteHeader(w, name+"_invalid", "", "counter"); err != nil {
+		return err
+	}
+	for _, s := range series {
+		if err := promtext.WriteSample(w, name+"_invalid", tupleLabels(labelNames, s.Values, ""), float64(s.Hist.Invalid)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// tupleLabels builds the label pairs for one series; a non-empty le is
+// appended last, the bucket convention.
+func tupleLabels(names, values []string, le string) []promtext.Label {
+	if len(names) == 0 && le == "" {
+		return nil
+	}
+	out := make([]promtext.Label, 0, len(names)+1)
+	for i := range names {
+		out = append(out, promtext.Label{Name: names[i], Value: values[i]})
+	}
+	if le != "" {
+		out = append(out, promtext.Label{Name: "le", Value: le})
+	}
+	return out
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// RuntimeMetrics is the process collector: Go runtime health gauges
+// refreshed on every scrape through the registry's OnScrape hook, so a
+// daemon's /metrics carries goroutine counts, heap occupancy and GC pause
+// totals next to the controller series without any background poller.
+type RuntimeMetrics struct {
+	Goroutines          *Gauge // runtime.NumGoroutine
+	HeapAllocBytes      *Gauge // live heap objects
+	HeapSysBytes        *Gauge // heap memory obtained from the OS
+	HeapObjects         *Gauge
+	StackSysBytes       *Gauge
+	GCRuns              *Gauge // completed GC cycles
+	GCPauseTotalSeconds *Gauge // cumulative stop-the-world pause
+	NextGCBytes         *Gauge // heap size that triggers the next cycle
+}
+
+// NewRuntimeMetrics registers the process collector under prefix
+// (conventionally "runtime") and hooks it into the registry's scrape
+// path.
+func NewRuntimeMetrics(r *Registry, prefix string) *RuntimeMetrics {
+	p := prefix + "."
+	m := &RuntimeMetrics{
+		Goroutines:          r.Gauge(p + "goroutines"),
+		HeapAllocBytes:      r.Gauge(p + "heap_alloc_bytes"),
+		HeapSysBytes:        r.Gauge(p + "heap_sys_bytes"),
+		HeapObjects:         r.Gauge(p + "heap_objects"),
+		StackSysBytes:       r.Gauge(p + "stack_sys_bytes"),
+		GCRuns:              r.Gauge(p + "gc_runs"),
+		GCPauseTotalSeconds: r.Gauge(p + "gc_pause_total_seconds"),
+		NextGCBytes:         r.Gauge(p + "next_gc_bytes"),
+	}
+	r.OnScrape(m.Collect)
+	return m
+}
+
+// Collect refreshes the gauges from the runtime. It is also callable
+// directly (the scrape hook does exactly this).
+func (m *RuntimeMetrics) Collect() {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	m.Goroutines.Set(float64(runtime.NumGoroutine()))
+	m.HeapAllocBytes.Set(float64(ms.HeapAlloc))
+	m.HeapSysBytes.Set(float64(ms.HeapSys))
+	m.HeapObjects.Set(float64(ms.HeapObjects))
+	m.StackSysBytes.Set(float64(ms.StackSys))
+	m.GCRuns.Set(float64(ms.NumGC))
+	m.GCPauseTotalSeconds.Set(float64(ms.PauseTotalNs) / 1e9)
+	m.NextGCBytes.Set(float64(ms.NextGC))
+}

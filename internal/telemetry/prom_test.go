@@ -1,0 +1,180 @@
+package telemetry
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/telemetry/promtext"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// buildExpositionRegistry assembles one registry exercising every family
+// shape the renderer emits: flat counters/gauges, labeled vectors (with a
+// label value needing every escape), flat and labeled histograms with
+// values below, inside and above the bounds, and NaN observations that
+// must surface only through the _invalid counter.
+func buildExpositionRegistry() *Registry {
+	r := NewRegistry()
+	r.Counter("run.slots").Add(3)
+	r.Counter("run.solves").Add(12)
+	r.Gauge("run.queue_kwh").Set(1.5)
+
+	lc := r.LabeledCounter("geo.site.cost_usd", "per-site cumulative cost", "site")
+	lc.With("west").Add(10.25)
+	lc.With("east").Add(0.1)
+
+	lg := r.LabeledGauge("geo.site.deficit_kwh", "carbon deficit queue", "site")
+	lg.With("dc \"weird\"\\path\nnext").Set(-2.5)
+
+	h := r.Histogram("step.seconds", []float64{0.001, 0.01, 0.1})
+	h.Observe(0.0005)
+	h.Observe(0.05)
+	h.Observe(7)
+	h.Observe(nan())
+
+	lh := r.LabeledHistogram("shard.solve_seconds", "per-shard solve wall time", []float64{1, 2}, "site")
+	lh.With("b").Observe(1.5)
+	lh.With("a").Observe(0.5)
+	lh.With("a").Observe(nan())
+	return r
+}
+
+// TestWritePrometheusGolden pins the exact exposition bytes. Two scrapes
+// of identical state must be byte-identical, and the rendering (family
+// order, cumulative buckets, +Inf, escapes, shortest-float values) is
+// frozen in testdata/exposition.golden. Regenerate with -update after a
+// deliberate format change.
+func TestWritePrometheusGolden(t *testing.T) {
+	r := buildExpositionRegistry()
+	var first, second bytes.Buffer
+	if err := r.WritePrometheus(&first); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WritePrometheus(&second); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first.Bytes(), second.Bytes()) {
+		t.Fatal("two scrapes of identical state differ")
+	}
+
+	golden := filepath.Join("testdata", "exposition.golden")
+	if *update {
+		if err := os.WriteFile(golden, first.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first.Bytes(), want) {
+		t.Errorf("exposition drifted from golden file (run with -update after a deliberate change)\ngot:\n%s\nwant:\n%s", first.Bytes(), want)
+	}
+}
+
+// TestWritePrometheusRoundTrip feeds the rendered exposition back through
+// the promtext parser and checks every sample against the snapshot bit
+// for bit — the renderer and parser agree on escapes and float spelling.
+func TestWritePrometheusRoundTrip(t *testing.T) {
+	r := buildExpositionRegistry()
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	fams, err := promtext.Parse(&buf)
+	if err != nil {
+		t.Fatalf("rendered exposition does not parse: %v", err)
+	}
+	snap := r.Snapshot()
+
+	mustFind := func(name string, want float64, labels ...promtext.Label) {
+		t.Helper()
+		s, ok := promtext.Find(fams, name, labels...)
+		if !ok {
+			t.Fatalf("sample %s%v missing", name, labels)
+		}
+		if s.Value != want {
+			t.Fatalf("%s%v = %v, want %v", name, labels, s.Value, want)
+		}
+	}
+
+	for name, v := range snap.Counters {
+		mustFind(promtext.SanitizeName(name), v)
+	}
+	for name, v := range snap.Gauges {
+		mustFind(promtext.SanitizeName(name), v)
+	}
+	for name, vec := range snap.LabeledCounters {
+		for _, ser := range vec.Series {
+			mustFind(promtext.SanitizeName(name), ser.Value, tupleToLabels(vec.Labels, ser.Values)...)
+		}
+	}
+	for name, vec := range snap.LabeledGauges {
+		for _, ser := range vec.Series {
+			mustFind(promtext.SanitizeName(name), ser.Value, tupleToLabels(vec.Labels, ser.Values)...)
+		}
+	}
+
+	// Flat histogram: cumulative buckets, +Inf == count, sum, count and the
+	// NaN observation surfaced only via _invalid.
+	hs := snap.Histograms["step.seconds"]
+	cum := uint64(0)
+	for i, b := range hs.Bounds {
+		cum += hs.Counts[i]
+		mustFind("step_seconds_bucket", float64(cum), promtext.Label{Name: "le", Value: promtext.FormatValue(b)})
+	}
+	mustFind("step_seconds_bucket", float64(hs.Count), promtext.Label{Name: "le", Value: "+Inf"})
+	mustFind("step_seconds_sum", hs.Sum)
+	mustFind("step_seconds_count", float64(hs.Count))
+	mustFind("step_seconds_invalid", float64(hs.Invalid))
+	if hs.Invalid != 1 {
+		t.Fatalf("step.seconds invalid = %d, want the one NaN observation", hs.Invalid)
+	}
+
+	// Labeled histogram: per-tuple buckets and the trailing invalid family.
+	lhs := snap.LabeledHistograms["shard.solve_seconds"]
+	for _, ser := range lhs.Series {
+		site := promtext.Label{Name: "site", Value: ser.Values[0]}
+		cum := uint64(0)
+		for i, b := range ser.Hist.Bounds {
+			cum += ser.Hist.Counts[i]
+			mustFind("shard_solve_seconds_bucket", float64(cum), site, promtext.Label{Name: "le", Value: promtext.FormatValue(b)})
+		}
+		mustFind("shard_solve_seconds_bucket", float64(ser.Hist.Count), site, promtext.Label{Name: "le", Value: "+Inf"})
+		mustFind("shard_solve_seconds_sum", ser.Hist.Sum, site)
+		mustFind("shard_solve_seconds_count", float64(ser.Hist.Count), site)
+		mustFind("shard_solve_seconds_invalid", float64(ser.Hist.Invalid), site)
+	}
+}
+
+// TestWritePrometheusRunsScrapeHooks: pull collectors refresh on render,
+// not on registration.
+func TestWritePrometheusRunsScrapeHooks(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("hooked")
+	calls := 0
+	r.OnScrape(func() { calls++; g.Set(float64(calls)) })
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	fams, err := promtext.Parse(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s, ok := promtext.Find(fams, "hooked"); !ok || s.Value != 1 {
+		t.Fatalf("hooked = %+v (ok=%v), want the hook's value 1", s, ok)
+	}
+}
+
+func tupleToLabels(names, values []string) []promtext.Label {
+	out := make([]promtext.Label, len(names))
+	for i := range names {
+		out[i] = promtext.Label{Name: names[i], Value: values[i]}
+	}
+	return out
+}

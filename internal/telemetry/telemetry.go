@@ -13,6 +13,21 @@
 // words, histograms take one short mutex-guarded pass over a fixed
 // bucket layout. Instruments are created up front (where allocation and
 // registry locking happen once) and then written to concurrently.
+//
+// Two flavors of instrument coexist. Flat instruments ("run.total_usd")
+// are a single series per name. Labeled vectors (LabeledCounter,
+// LabeledGauge, LabeledHistogram) key a family of series by a small label
+// tuple — per-site, per-endpoint, per-shard — and render as dimensional
+// series in the Prometheus exposition (WritePrometheus, mounted at
+// /metrics). Labels must be low-cardinality: site names and endpoint
+// paths, never slot indices or request ids.
+//
+// Expvar is a process-wide singleton: PublishExpvar can export exactly
+// one registry per process under the "coca" name (expvar.Publish panics
+// on duplicates and has no Unpublish). The first registry published wins;
+// later calls for other registries return false so the caller can log
+// that /debug/vars will not carry them. The Prometheus and JSON endpoints
+// have no such constraint — every Registry serves its own.
 package telemetry
 
 import (
@@ -190,22 +205,51 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 	return s
 }
 
-// Registry names and owns instruments. Get-or-create methods are
-// mutex-guarded and intended for setup; the instruments they return are
-// written to without touching the registry again.
+// Registry names and owns instruments — flat ones and labeled vectors.
+// Get-or-create methods are mutex-guarded and intended for setup; the
+// instruments they return are written to without touching the registry
+// again.
 type Registry struct {
-	mu         sync.Mutex
-	counters   map[string]*Counter
-	gauges     map[string]*Gauge
-	histograms map[string]*Histogram
+	mu                sync.Mutex
+	counters          map[string]*Counter
+	gauges            map[string]*Gauge
+	histograms        map[string]*Histogram
+	labeledCounters   map[string]*LabeledCounter
+	labeledGauges     map[string]*LabeledGauge
+	labeledHistograms map[string]*LabeledHistogram
+	scrapeHooks       []func()
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
 	return &Registry{
-		counters:   make(map[string]*Counter),
-		gauges:     make(map[string]*Gauge),
-		histograms: make(map[string]*Histogram),
+		counters:          make(map[string]*Counter),
+		gauges:            make(map[string]*Gauge),
+		histograms:        make(map[string]*Histogram),
+		labeledCounters:   make(map[string]*LabeledCounter),
+		labeledGauges:     make(map[string]*LabeledGauge),
+		labeledHistograms: make(map[string]*LabeledHistogram),
+	}
+}
+
+// OnScrape registers a hook that runs at the start of every Snapshot (and
+// therefore every exposition scrape), before instrument state is copied.
+// Pull-style collectors — the runtime collector, the settle-lag gauge —
+// use it to refresh gauges exactly when they are read.
+func (r *Registry) OnScrape(fn func()) {
+	r.mu.Lock()
+	r.scrapeHooks = append(r.scrapeHooks, fn)
+	r.mu.Unlock()
+}
+
+// runScrapeHooks invokes the hooks outside the registry lock, so a hook
+// may itself resolve registry instruments.
+func (r *Registry) runScrapeHooks() {
+	r.mu.Lock()
+	hooks := r.scrapeHooks
+	r.mu.Unlock()
+	for _, fn := range hooks {
+		fn()
 	}
 }
 
@@ -246,16 +290,71 @@ func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
 	return h
 }
 
+// LabeledCounter returns the named counter vector over the given label
+// names, creating it on first use (later help/labels are ignored — the
+// shape is fixed, exactly like Histogram bounds).
+func (r *Registry) LabeledCounter(name, help string, labels ...string) *LabeledCounter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.labeledCounters[name]
+	if !ok {
+		c = &LabeledCounter{vec[Counter]{
+			name: name, help: help, keys: append([]string(nil), labels...),
+			newChild: func() *Counter { return &Counter{} },
+		}}
+		r.labeledCounters[name] = c
+	}
+	return c
+}
+
+// LabeledGauge returns the named gauge vector, creating it on first use.
+func (r *Registry) LabeledGauge(name, help string, labels ...string) *LabeledGauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.labeledGauges[name]
+	if !ok {
+		g = &LabeledGauge{vec[Gauge]{
+			name: name, help: help, keys: append([]string(nil), labels...),
+			newChild: func() *Gauge { return &Gauge{} },
+		}}
+		r.labeledGauges[name] = g
+	}
+	return g
+}
+
+// LabeledHistogram returns the named histogram vector, creating it with
+// the given bounds on first use; every child shares the bucket layout.
+func (r *Registry) LabeledHistogram(name, help string, bounds []float64, labels ...string) *LabeledHistogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.labeledHistograms[name]
+	if !ok {
+		b := append([]float64(nil), bounds...)
+		h = &LabeledHistogram{vec[Histogram]{
+			name: name, help: help, keys: append([]string(nil), labels...),
+			newChild: func() *Histogram { return NewHistogram(b) },
+		}}
+		r.labeledHistograms[name] = h
+	}
+	return h
+}
+
 // Snapshot is a point-in-time copy of every registered instrument,
 // marshaled with stable field names so summaries diff cleanly.
 type Snapshot struct {
 	Counters   map[string]float64           `json:"counters"`
 	Gauges     map[string]float64           `json:"gauges"`
 	Histograms map[string]HistogramSnapshot `json:"histograms"`
+
+	LabeledCounters   map[string]LabeledSnapshot           `json:"labeled_counters,omitempty"`
+	LabeledGauges     map[string]LabeledSnapshot           `json:"labeled_gauges,omitempty"`
+	LabeledHistograms map[string]LabeledHistogramsSnapshot `json:"labeled_histograms,omitempty"`
 }
 
-// Snapshot copies the registry's current state.
+// Snapshot copies the registry's current state, running the scrape hooks
+// first so pull-style collectors are fresh.
 func (r *Registry) Snapshot() Snapshot {
+	r.runScrapeHooks()
 	r.mu.Lock()
 	counters := make(map[string]*Counter, len(r.counters))
 	for k, v := range r.counters {
@@ -268,6 +367,18 @@ func (r *Registry) Snapshot() Snapshot {
 	hists := make(map[string]*Histogram, len(r.histograms))
 	for k, v := range r.histograms {
 		hists[k] = v
+	}
+	lcs := make(map[string]*LabeledCounter, len(r.labeledCounters))
+	for k, v := range r.labeledCounters {
+		lcs[k] = v
+	}
+	lgs := make(map[string]*LabeledGauge, len(r.labeledGauges))
+	for k, v := range r.labeledGauges {
+		lgs[k] = v
+	}
+	lhs := make(map[string]*LabeledHistogram, len(r.labeledHistograms))
+	for k, v := range r.labeledHistograms {
+		lhs[k] = v
 	}
 	r.mu.Unlock()
 
@@ -284,6 +395,24 @@ func (r *Registry) Snapshot() Snapshot {
 	}
 	for k, v := range hists {
 		s.Histograms[k] = v.Snapshot()
+	}
+	if len(lcs) > 0 {
+		s.LabeledCounters = make(map[string]LabeledSnapshot, len(lcs))
+		for k, v := range lcs {
+			s.LabeledCounters[k] = v.snapshot()
+		}
+	}
+	if len(lgs) > 0 {
+		s.LabeledGauges = make(map[string]LabeledSnapshot, len(lgs))
+		for k, v := range lgs {
+			s.LabeledGauges[k] = v.snapshot()
+		}
+	}
+	if len(lhs) > 0 {
+		s.LabeledHistograms = make(map[string]LabeledHistogramsSnapshot, len(lhs))
+		for k, v := range lhs {
+			s.LabeledHistograms[k] = v.snapshot()
+		}
 	}
 	return s
 }

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"repro/internal/sim"
+	"repro/internal/telemetry/promtext"
 	"repro/internal/telemetry/span"
 )
 
@@ -262,7 +263,7 @@ func TestHandlerEndpoints(t *testing.T) {
 	srv := httptest.NewServer(Handler(r, tr))
 	defer srv.Close()
 
-	for _, path := range []string{"/metrics", "/spans", "/debug/vars", "/debug/pprof/"} {
+	for _, path := range []string{"/metrics", "/metrics.json", "/spans", "/debug/vars", "/debug/pprof/"} {
 		resp, err := http.Get(srv.URL + path)
 		if err != nil {
 			t.Fatalf("%s: %v", path, err)
@@ -277,7 +278,25 @@ func TestHandlerEndpoints(t *testing.T) {
 		}
 	}
 
-	resp, err := http.Get(srv.URL + "/metrics")
+	// /metrics is the Prometheus exposition now; the JSON snapshot moved
+	// to /metrics.json.
+	promResp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct := promResp.Header.Get("Content-Type"); ct != promtext.ContentType {
+		t.Fatalf("/metrics content type = %q, want %q", ct, promtext.ContentType)
+	}
+	fams, err := promtext.Parse(promResp.Body)
+	promResp.Body.Close()
+	if err != nil {
+		t.Fatalf("/metrics does not parse as Prometheus text: %v", err)
+	}
+	if s, ok := promtext.Find(fams, "run_slots"); !ok || s.Value != 3 {
+		t.Fatalf("/metrics run_slots = %+v (ok=%v), want 3", s, ok)
+	}
+
+	resp, err := http.Get(srv.URL + "/metrics.json")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -287,7 +306,7 @@ func TestHandlerEndpoints(t *testing.T) {
 		t.Fatal(err)
 	}
 	if snap.Counters["run.slots"] != 3 {
-		t.Fatalf("/metrics counter = %v", snap.Counters["run.slots"])
+		t.Fatalf("/metrics.json counter = %v", snap.Counters["run.slots"])
 	}
 
 	spansResp, err := http.Get(srv.URL + "/spans")
