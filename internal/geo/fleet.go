@@ -74,6 +74,13 @@ type Fleet struct {
 	slot    int
 	workers int
 
+	// Per-slot scratch reused across Step calls: site problem instances
+	// (each handed to the pooled per-site solver, which never reads one
+	// after its run finishes) and the fan-out error slots. Outcome slices
+	// stay freshly allocated — they escape to the caller via Settle.
+	probs []dcmodel.SlotProblem
+	errs  []error
+
 	metrics   *telemetry.FleetMetrics
 	siteInstr []*telemetry.FleetSiteMetrics // cached per-site handles, index-aligned with Sites
 }
@@ -118,11 +125,24 @@ func NewFleet(sites []FleetSite, beta float64, slots int, opts gsd.Options) (*Fl
 // default) runs sites sequentially; n > 1 fans them across up to n
 // goroutines with bit-identical results (see the design rules above).
 // Negative n is an explicit error, the cliutil.WorkersFor rule.
+//
+// When n exceeds the site count the surplus cores would idle in the
+// site fan-out, so they are handed to the sites themselves: each site's
+// GSD chain runs its speculative evaluator with n/len(Sites) workers
+// (gsd.Options.Workers), which is bit-identical to the sequential chain.
+// Call SetWorkers before stepping.
 func (f *Fleet) SetWorkers(n int) error {
 	if err := cliutil.WorkersFor("geo.Fleet.SetWorkers", n); err != nil {
 		return err
 	}
 	f.workers = n
+	inSite := 0
+	if n > len(f.Sites) {
+		inSite = n / len(f.Sites)
+	}
+	for i := range f.solvers {
+		f.solvers[i].Opts.Workers = inSite
+	}
 	return nil
 }
 
@@ -178,7 +198,7 @@ func (f *Fleet) Slot() int { return f.slot }
 // FleetSiteOutcome is one site's share of a stepped fleet slot.
 type FleetSiteOutcome struct {
 	LoadRPS   float64
-	Active    int     // servers in groups running at positive speed
+	Active    int // servers in groups running at positive speed
 	PowerKW   float64
 	GridKWh   float64
 	DelayCost float64
@@ -210,17 +230,21 @@ func (f *Fleet) validateLoad(lambda float64) error {
 
 // siteProblem builds site k's heterogeneous P3 instance for the slot at
 // load mu, with the COCA weights of Eq. (16) from the site's own price and
-// deficit queue.
+// deficit queue. The instance lives in the fleet's per-site scratch slot —
+// site k's solver finishes with it before the next Step rewrites it — so
+// stepping allocates no problem structs.
 func (f *Fleet) siteProblem(k int, v, mu float64) *dcmodel.SlotProblem {
 	site := &f.Sites[k]
 	t := f.slot
 	we, wd := dcmodel.P3Weights(v, f.queues[k].Len(), site.Price.Values[t], f.Beta)
-	return &dcmodel.SlotProblem{
+	p := &f.probs[k]
+	*p = dcmodel.SlotProblem{
 		Cluster:   site.Cluster,
 		LambdaRPS: mu,
 		We:        we, Wd: wd,
 		OnsiteKW: site.Portfolio.OnsiteKW.Values[t],
 	}
+	return p
 }
 
 // siteLedger builds site k's slot-cost kernel for the current slot,
@@ -258,7 +282,14 @@ func (f *Fleet) Step(lambda, v float64) (FleetStepOutcome, error) {
 	k := len(f.Sites)
 	total := f.TotalCapacityRPS()
 	out := FleetStepOutcome{Sites: make([]FleetSiteOutcome, k)}
-	errs := make([]error, k)
+	if f.probs == nil {
+		f.probs = make([]dcmodel.SlotProblem, k)
+		f.errs = make([]error, k)
+	}
+	errs := f.errs
+	for i := range errs {
+		errs[i] = nil
+	}
 	workpool.Fan(f.workers, k, func(i int) {
 		mu := 0.0
 		if lambda > 0 {

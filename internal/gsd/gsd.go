@@ -56,6 +56,14 @@ type Options struct {
 	Failed []bool
 	// RecordHistory enables per-iteration incumbent tracking (Fig. 4).
 	RecordHistory bool
+	// Workers, when > 1, enables the speculative parallel chain in the
+	// sequential engine: proposal load splits are pre-evaluated on this many
+	// goroutines ahead of the strictly sequential accept/reject replay, so
+	// the Result is bit-for-bit identical to a Workers <= 1 run (see
+	// DESIGN.md "Speculative Gibbs chain"). 0 and 1 both mean sequential;
+	// negative is an error. SolveDistributed ignores it (that engine's
+	// parallelism is the per-group goroutine protocol itself).
+	Workers int
 	// Metrics, when non-nil, records iteration/acceptance totals,
 	// patience exits, warm-start cold fallbacks and per-solve wall time.
 	// The instruments are concurrency-safe, so one SolveMetrics can be
@@ -185,6 +193,14 @@ func newProposalCache(c *dcmodel.Cluster) proposalCache {
 	pc := proposalCache{stride: stride, epoch: 1}
 	if n := len(c.Groups); n*stride*n <= maxCacheFloats {
 		pc.entries = make([]cacheEntry, n*stride)
+		// One slab backs every entry's load buffer (each pre-sliced to
+		// len 0, cap n), so store never allocates: the per-entry lazy
+		// appends used to dominate the allocation profile of a fleet
+		// site's first slot.
+		backing := make([]float64, n*stride*n)
+		for i := range pc.entries {
+			pc.entries[i].load = backing[i*n : i*n : (i+1)*n]
+		}
 	}
 	return pc
 }
@@ -237,30 +253,65 @@ type engine struct {
 	eval  dcmodel.Solution
 	cache proposalCache
 	propG int
+	spec  specState
 }
 
 func newEngine(p *dcmodel.SlotProblem, opts Options) (*engine, error) {
+	e := &engine{}
+	if err := e.reset(p, opts); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// reset re-arms the engine for a new (problem, options) pair, reusing every
+// buffer a previous run left behind: the RNG is reseeded to the exact
+// NewRNG state, the persistent load-split instance is Reset (bit-identical
+// to a fresh build), and the proposal memo survives shape-compatible
+// problem changes through an epoch bump. A pooled engine therefore runs the
+// identical chain a freshly allocated one would.
+func (e *engine) reset(p *dcmodel.SlotProblem, opts Options) error {
 	n := len(p.Cluster.Groups)
 	if opts.Failed != nil && len(opts.Failed) != n {
-		return nil, fmt.Errorf("gsd: Failed has %d entries for %d groups", len(opts.Failed), n)
+		return fmt.Errorf("gsd: Failed has %d entries for %d groups", len(opts.Failed), n)
+	}
+	if opts.Workers < 0 {
+		return fmt.Errorf("gsd: Options.Workers must be >= 0; got %d", opts.Workers)
 	}
 	if opts.MaxIters <= 0 {
 		opts.MaxIters = 200 * n
 	}
-	e := &engine{p: p, opts: opts, rng: stats.NewRNG(opts.Seed)}
+	e.p, e.opts = p, opts
+	if e.rng == nil {
+		e.rng = stats.NewRNG(opts.Seed)
+	} else {
+		e.rng.Reseed(opts.Seed)
+	}
+	e.iters, e.accept = 0, 0
+	e.history = e.history[:0]
+	if cap(e.alive) < n {
+		e.alive = make([]int, 0, n)
+	} else {
+		e.alive = e.alive[:0]
+	}
 	for g := 0; g < n; g++ {
 		if opts.Failed == nil || !opts.Failed[g] {
 			e.alive = append(e.alive, g)
 		}
 	}
 	if len(e.alive) == 0 {
-		return nil, errors.New("gsd: every group has failed")
+		return errors.New("gsd: every group has failed")
 	}
 	// Line 1: feasible initialization.
-	e.speeds = make([]int, n)
+	if cap(e.speeds) < n {
+		e.speeds = make([]int, n)
+	} else {
+		e.speeds = e.speeds[:n]
+		clear(e.speeds)
+	}
 	if opts.InitSpeeds != nil {
 		if len(opts.InitSpeeds) != n {
-			return nil, fmt.Errorf("gsd: InitSpeeds has %d entries for %d groups", len(opts.InitSpeeds), n)
+			return fmt.Errorf("gsd: InitSpeeds has %d entries for %d groups", len(opts.InitSpeeds), n)
 		}
 		copy(e.speeds, opts.InitSpeeds)
 		for g := 0; g < n; g++ {
@@ -274,20 +325,44 @@ func newEngine(p *dcmodel.SlotProblem, opts Options) (*engine, error) {
 		}
 	}
 	if !p.Feasible(e.speeds) {
-		return nil, ErrInfeasibleInit
+		return ErrInfeasibleInit
 	}
-	inst, err := loadbalance.NewInstance(p, e.speeds)
-	if err != nil {
-		return nil, fmt.Errorf("gsd: initial load distribution: %w", err)
+	if e.inst == nil {
+		e.inst = &loadbalance.Instance{}
 	}
-	if err := inst.SolveInto(&e.best); err != nil {
-		return nil, fmt.Errorf("gsd: initial load distribution: %w", err)
+	if err := e.inst.Reset(p, e.speeds); err != nil {
+		return fmt.Errorf("gsd: initial load distribution: %w", err)
+	}
+	if err := e.inst.SolveInto(&e.best); err != nil {
+		return fmt.Errorf("gsd: initial load distribution: %w", err)
 	}
 	e.bestEver.CopyFrom(&e.best)
-	e.inst = inst
-	e.cache = newProposalCache(p.Cluster)
+	e.resetCache()
 	e.propG = -1
-	return e, nil
+	e.spec.reset()
+	return nil
+}
+
+// resetCache re-arms the proposal memo for the engine's current problem.
+// When the cluster shape (group count and speed stride) matches the
+// previous run's, the allocated entries and their load slab are kept and an
+// epoch bump invalidates the stale values; otherwise the memo is rebuilt.
+func (e *engine) resetCache() {
+	c := e.p.Cluster
+	stride := 1
+	for g := range c.Groups {
+		if k := c.Groups[g].Type.NumSpeeds() + 1; k > stride {
+			stride = k
+		}
+	}
+	n := len(c.Groups)
+	enabled := n*stride*n <= maxCacheFloats
+	if e.cache.stride == stride &&
+		((enabled && len(e.cache.entries) == n*stride) || (!enabled && e.cache.entries == nil)) {
+		e.cache.invalidate()
+		return
+	}
+	e.cache = newProposalCache(c)
 }
 
 // evalExploration computes g̃ for the current exploration vector. The
@@ -312,6 +387,23 @@ func (e *engine) evalExploration() (*dcmodel.Solution, error) {
 		e.eval.Speeds = append(e.eval.Speeds[:0], e.speeds...)
 		e.eval.Load = append(e.eval.Load[:0], ent.load...)
 		e.eval.Value = ent.value
+		return &e.eval, nil
+	}
+	if se := e.spec.take(g, k, e.cache.epoch); se != nil {
+		// A speculative worker already solved this proposal against the
+		// frozen incumbent. The worker's SolveInto is bit-identical to the
+		// main instance's (same SetSpeed delta from the same incumbent,
+		// fresh-ordered-sums invariant), so serving it — and storing it
+		// through to the memo exactly as a fresh solve would — leaves the
+		// chain unchanged.
+		if se.failed {
+			e.cache.store(g, k, true, 0, nil)
+			return nil, loadbalance.ErrInfeasible
+		}
+		e.eval.Speeds = append(e.eval.Speeds[:0], e.speeds...)
+		e.eval.Load = append(e.eval.Load[:0], se.load...)
+		e.eval.Value = se.value
+		e.cache.store(g, k, false, se.value, se.load)
 		return &e.eval, nil
 	}
 	if err := e.inst.SolveInto(&e.eval); err != nil {
@@ -340,6 +432,9 @@ func (e *engine) revertProposal() {
 // instance. The span bookkeeping never touches e.rng, so traced and
 // untraced runs draw the identical random sequence.
 func (e *engine) step() {
+	if e.spec.enabled {
+		e.specAdvance()
+	}
 	delta := e.opts.temperature(e.iters)
 	var sweep *span.Span
 	if e.opts.Tracer != nil {
@@ -421,6 +516,7 @@ func (e *engine) run() Result {
 			span.Int("groups", len(e.p.Cluster.Groups)),
 			span.Float("lambda_rps", e.p.LambdaRPS))
 	}
+	e.initSpec()
 	noImprove := 0
 	patienceExit := false
 	lastBest := e.bestEver.Value
@@ -437,15 +533,26 @@ func (e *engine) run() Result {
 			}
 		}
 	}
+	e.finishSpec()
 	if solveSpan != nil {
 		solveSpan.Set(
 			span.Int("iters", e.iters), span.Int("accepted", e.accept),
 			span.Float("best_value", e.bestEver.Value),
 			span.Bool("patience_exit", patienceExit))
+		if e.spec.enabled {
+			solveSpan.Set(
+				span.Int("workers", e.spec.workers),
+				span.Int("spec_windows", e.spec.windows),
+				span.Int("spec_hits", e.spec.hits),
+				span.Int("spec_wasted", e.spec.wasted))
+		}
 		solveSpan.End()
 	}
 	if m := e.opts.Metrics; m != nil {
 		m.FinishSolve(e.iters, e.accept, patienceExit, time.Since(start).Seconds())
+		if e.spec.enabled {
+			m.FinishSpec(e.spec.windows, e.spec.evals, e.spec.hits, e.spec.wasted)
+		}
 	}
 	return Result{
 		Solution: e.bestEver,
@@ -475,6 +582,7 @@ type Solver struct {
 	started bool
 	seed    uint64
 	warm    []int
+	eng     *engine // single-slot engine pool (nil when absent or in use)
 }
 
 // Clone returns a fresh solver with the same Options and none of the
@@ -501,6 +609,36 @@ func (s *Solver) next() Options {
 	return opts
 }
 
+// runPooled executes one run on the solver's pooled engine (falling back to
+// a fresh engine when a concurrent call holds the pooled one) and returns a
+// deep copy of the solution, so the engine's buffers can be reused by the
+// next call. reset makes a pooled engine bit-identical to a fresh one, so
+// pooling is invisible to results.
+func (s *Solver) runPooled(p *dcmodel.SlotProblem, opts Options) (dcmodel.Solution, error) {
+	s.mu.Lock()
+	e := s.eng
+	s.eng = nil
+	s.mu.Unlock()
+	if e == nil {
+		e = &engine{}
+	}
+	put := func() {
+		s.mu.Lock()
+		if s.eng == nil {
+			s.eng = e
+		}
+		s.mu.Unlock()
+	}
+	if err := e.reset(p, opts); err != nil {
+		put()
+		return dcmodel.Solution{}, err
+	}
+	res := e.run()
+	sol := res.Solution.Clone()
+	put()
+	return sol, nil
+}
+
 // Solve implements p3.Solver. The seed is advanced on every call so repeated
 // slots do not replay the same sample path; pass a fresh Solver (or Clone)
 // for reproducibility of a single slot. Each slot warm-starts from the
@@ -524,7 +662,7 @@ func (s *Solver) Solve(p *dcmodel.SlotProblem) (dcmodel.Solution, error) {
 		solverSpan.Set(span.Bool("cold_fallback", true))
 	}
 	solverSpan.Set(span.Bool("warm_start", len(opts.InitSpeeds) > 0))
-	res, err := Solve(p, opts)
+	sol, err := s.runPooled(p, opts)
 	if errors.Is(err, ErrInfeasibleInit) && opts.InitSpeeds != nil {
 		if opts.Metrics != nil {
 			opts.Metrics.ColdFallbacks.Inc()
@@ -532,7 +670,7 @@ func (s *Solver) Solve(p *dcmodel.SlotProblem) (dcmodel.Solution, error) {
 		solverSpan.Set(span.Bool("cold_fallback", true))
 		cold := opts
 		cold.InitSpeeds = nil
-		res, err = Solve(p, cold)
+		sol, err = s.runPooled(p, cold)
 	}
 	if err != nil {
 		solverSpan.Set(span.Str("error", err.Error()))
@@ -542,7 +680,7 @@ func (s *Solver) Solve(p *dcmodel.SlotProblem) (dcmodel.Solution, error) {
 	solverSpan.End()
 	// Warm-start the next slot from this slot's decision.
 	s.mu.Lock()
-	s.warm = append([]int(nil), res.Solution.Speeds...)
+	s.warm = append([]int(nil), sol.Speeds...)
 	s.mu.Unlock()
-	return res.Solution, nil
+	return sol, nil
 }

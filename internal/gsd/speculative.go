@@ -1,0 +1,309 @@
+// Speculative parallel Gibbs chain. Algorithm 2 is inherently sequential —
+// each iteration's acceptance decision feeds the next — but almost all of
+// its wall time is spent solving proposal load splits, and a proposal's
+// split depends only on (incumbent, group, speed), not on where in the
+// chain it is evaluated. The engine therefore runs the chain in windows:
+//
+//  1. Discovery clones the RNG and simulates the next W iterations'
+//     draw sequence against the frozen incumbent. Proposals whose objective
+//     is already known (the incumbent itself, or a proposal memo hit) get
+//     their acceptance draw consumption and outcome predicted exactly;
+//     unknown proposals are queued for evaluation and assumed to consume
+//     one acceptance draw and be rejected. Discovery stops at the window
+//     bound or at the first predicted acceptance of a non-incumbent
+//     proposal (the incumbent would change there).
+//  2. The distinct queued proposals are solved in parallel over
+//     workpool.FanID, one incumbent-positioned loadbalance.Instance per
+//     worker. Per-worker solves are bit-identical to the main instance's
+//     (the fresh-ordered-sums invariant pinned since the incremental
+//     Instance landed), so a speculated value is THE value.
+//  3. Replay runs the unchanged sequential step(): same RNG, same
+//     temperature at the same absolute iteration index, same accept/reject
+//     arithmetic. evalExploration consults the window table before solving,
+//     so cache-miss proposals inside the window cost a lookup instead of a
+//     solve. When an acceptance changes the incumbent, the proposal memo's
+//     epoch bump invalidates the table and the next step opens a new
+//     window against the new incumbent; unserved evaluations are counted
+//     as wasted work.
+//
+// Mispredicted discovery (an unknown proposal whose real acceptance
+// probability saturated to 0 or 1 and consumed no draw, or an advisory
+// feasibility miss) only degrades the table's hit rate — replay never
+// trusts discovery's control flow, so the Result is bit-for-bit identical
+// to the sequential engine for any worker count.
+package gsd
+
+import (
+	"repro/internal/dcmodel"
+	"repro/internal/loadbalance"
+	"repro/internal/stats"
+	"repro/internal/workpool"
+)
+
+// specMinWindow is the smallest adaptive window: even in acceptance-heavy
+// phases a window must cover the pending proposal plus one look-ahead.
+const specMinWindow = 2
+
+// specEntry is one speculated proposal: the (group, speed) key and the
+// solve outcome against the incumbent the table's epoch names. The load
+// buffer is reused across windows.
+type specEntry struct {
+	g, k   int
+	served bool
+	failed bool
+	value  float64
+	load   []float64
+}
+
+// specState is the engine's speculative-evaluation state. It is touched
+// only from the sequential chain goroutine except inside specRound's
+// FanID, where entry i is owned by job i and instance/buffer w by worker w.
+type specState struct {
+	enabled   bool
+	workers   int
+	window    int // current adaptive window size
+	maxWindow int
+	remaining int    // replay steps left in the current window
+	epoch     uint64 // proposal-memo epoch the table was built against
+
+	rng       *stats.RNG // discovery clone of the engine RNG
+	entries   []specEntry
+	insts     []*loadbalance.Instance // per-worker incumbent clones
+	instEpoch []uint64                // epoch each clone is positioned at (0 = stale)
+	solBuf    []dcmodel.Solution      // per-worker solve buffers
+
+	windows int // accounting for metrics / the solve span
+	evals   int
+	hits    int
+	wasted  int
+}
+
+// reset clears per-run state so a pooled engine starts clean; buffers and
+// worker instances are kept for reuse (instEpoch 0 forces a re-sync onto
+// the new problem before any evaluation).
+func (sp *specState) reset() {
+	sp.enabled = false
+	sp.remaining = 0
+	sp.epoch = 0
+	sp.entries = sp.entries[:0]
+	for i := range sp.instEpoch {
+		sp.instEpoch[i] = 0
+	}
+	sp.windows, sp.evals, sp.hits, sp.wasted = 0, 0, 0, 0
+}
+
+// initSpec arms speculation for one run of the sequential engine.
+func (e *engine) initSpec() {
+	sp := &e.spec
+	if e.opts.Workers <= 1 {
+		sp.enabled = false
+		return
+	}
+	sp.enabled = true
+	sp.workers = e.opts.Workers
+	if sp.rng == nil {
+		sp.rng = stats.NewRNG(0)
+	}
+	for len(sp.insts) < sp.workers {
+		sp.insts = append(sp.insts, &loadbalance.Instance{})
+		sp.instEpoch = append(sp.instEpoch, 0)
+		sp.solBuf = append(sp.solBuf, dcmodel.Solution{})
+	}
+	sp.window = max(2*sp.workers, specMinWindow)
+	sp.maxWindow = max(64, 4*sp.workers)
+	sp.remaining = 0
+	sp.epoch = 0 // != any live memo epoch: the first step opens a window
+}
+
+// specAdvance runs at the top of every step: it opens a new window when the
+// previous one is exhausted or was invalidated by an incumbent change, then
+// consumes one replay step from the current window.
+func (e *engine) specAdvance() {
+	sp := &e.spec
+	if sp.remaining <= 0 || sp.epoch != e.cache.epoch {
+		e.specRound()
+	}
+	sp.remaining--
+}
+
+// take returns the table entry for proposal (g, k) when it was evaluated
+// against the incumbent identified by epoch, nil otherwise.
+func (sp *specState) take(g, k int, epoch uint64) *specEntry {
+	if !sp.enabled || sp.epoch != epoch {
+		return nil
+	}
+	for i := range sp.entries {
+		ent := &sp.entries[i]
+		if ent.g == g && ent.k == k {
+			if !ent.served {
+				ent.served = true
+				sp.hits++
+			}
+			return ent
+		}
+	}
+	return nil
+}
+
+// addJob queues proposal (g, k) for parallel evaluation, deduplicating
+// repeats within the window and reusing entry buffers across windows.
+func (sp *specState) addJob(g, k int) {
+	for i := range sp.entries {
+		if sp.entries[i].g == g && sp.entries[i].k == k {
+			return
+		}
+	}
+	if len(sp.entries) < cap(sp.entries) {
+		sp.entries = sp.entries[:len(sp.entries)+1]
+	} else {
+		sp.entries = append(sp.entries, specEntry{})
+	}
+	ent := &sp.entries[len(sp.entries)-1]
+	ent.g, ent.k = g, k
+	ent.served, ent.failed, ent.value = false, false, 0
+	ent.load = ent.load[:0]
+}
+
+// specRound opens a new speculation window: drop (and account) the old
+// table, adapt the window size, sync the per-worker instances to the
+// incumbent, run discovery on a cloned RNG, and evaluate the queued
+// proposals in parallel. It never touches e.rng or any state the replayed
+// step() reads for its decisions.
+func (e *engine) specRound() {
+	sp := &e.spec
+	for i := range sp.entries {
+		if !sp.entries[i].served {
+			sp.wasted++
+		}
+	}
+	if sp.windows > 0 {
+		if sp.epoch != e.cache.epoch {
+			// The last window was cut short by an acceptance: speculate
+			// less until the chain settles down.
+			sp.window = max(sp.window/2, specMinWindow)
+		} else {
+			sp.window = min(sp.window*2, sp.maxWindow)
+		}
+	}
+	sp.entries = sp.entries[:0]
+	sp.epoch = e.cache.epoch
+	sp.windows++
+
+	for w := 0; w < sp.workers; w++ {
+		if sp.instEpoch[w] != sp.epoch {
+			if err := sp.insts[w].Reset(e.p, e.best.Speeds); err != nil {
+				// The incumbent passed the identical capacity check when it
+				// was accepted; Reset rebuilds the same bits.
+				panic("gsd: speculative reset of a feasible incumbent failed: " + err.Error())
+			}
+			sp.instEpoch[w] = sp.epoch
+		}
+	}
+	base := sp.insts[0]
+
+	// Discovery: walk the draw sequence the replay will consume. g/k is the
+	// pending proposal entering each simulated step; iter the absolute
+	// iteration index, so temperature schedules see exactly the indices the
+	// replay will use.
+	e.rng.CloneInto(sp.rng)
+	g, iter := e.propG, e.iters
+	k := 0
+	if g >= 0 {
+		k = e.speeds[g]
+	}
+	steps := 0
+	for steps < sp.window {
+		delta := e.opts.temperature(iter)
+		self := g < 0 || k == e.best.Speeds[g]
+		var feasible bool
+		switch {
+		case steps == 0:
+			// The pending proposal is already applied to the main instance,
+			// so its feasibility check is available exactly.
+			feasible = e.inst.Feasible()
+		case self:
+			feasible = true // the incumbent configuration is feasible
+		default:
+			feasible = base.ProposalFeasible(g, k) // advisory delta estimate
+		}
+		accepted := false
+		if feasible {
+			known, failed := false, false
+			var value float64
+			if self {
+				known, value = true, e.best.Value
+			} else if ent := e.cache.lookup(g, k); ent != nil {
+				known, failed, value = true, ent.failed, ent.value
+			}
+			switch {
+			case known && failed:
+				// Replay sees ErrInfeasible: no acceptance draw.
+			case known:
+				// Exact prediction: same acceptProb float, same Bernoulli
+				// consumption rule, same uniform draw.
+				u := acceptProb(delta, value, e.best.Value)
+				if u >= 1 {
+					accepted = true
+				} else if u > 0 {
+					accepted = sp.rng.Float64() < u
+				}
+			default:
+				// Unknown objective: queue it and assume the generic
+				// one-draw rejection. If the real u saturates, the rest of
+				// this window's discovery is misaligned — wasted table
+				// entries, never wrong results.
+				sp.addJob(g, k)
+				sp.rng.Float64()
+			}
+		}
+		steps++
+		iter++
+		if accepted && !self {
+			break // the incumbent changes here; the window ends
+		}
+		g = e.alive[sp.rng.IntN(len(e.alive))]
+		k = sp.rng.IntN(e.p.Cluster.Groups[g].Type.NumSpeeds() + 1)
+	}
+	sp.remaining = steps
+	if m := e.opts.Metrics; m != nil {
+		m.ObserveWindow(steps)
+	}
+
+	sp.evals += len(sp.entries)
+	workpool.FanID(sp.workers, len(sp.entries), func(w, i int) {
+		ent := &sp.entries[i]
+		in := sp.insts[w]
+		if err := in.SetSpeed(ent.g, ent.k); err != nil {
+			ent.failed = true
+			return
+		}
+		err := in.SolveInto(&sp.solBuf[w])
+		in.Revert()
+		if err != nil {
+			// Identical failure surface to the sequential path: every
+			// load-split failure is ErrInfeasible.
+			ent.failed = true
+			ent.load = ent.load[:0]
+			ent.value = 0
+			return
+		}
+		ent.failed = false
+		ent.value = sp.solBuf[w].Value
+		ent.load = append(ent.load[:0], sp.solBuf[w].Load...)
+	})
+}
+
+// finishSpec flushes end-of-run accounting: evaluations still sitting in
+// the final window's table were never consumed.
+func (e *engine) finishSpec() {
+	sp := &e.spec
+	if !sp.enabled {
+		return
+	}
+	for i := range sp.entries {
+		if !sp.entries[i].served {
+			sp.wasted++
+		}
+	}
+	sp.entries = sp.entries[:0]
+}

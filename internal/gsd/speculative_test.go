@@ -1,0 +1,314 @@
+package gsd
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dcmodel"
+	"repro/internal/stats"
+	"repro/internal/telemetry"
+)
+
+// requireResultEqual asserts two Results are bit-identical: same iteration
+// and acceptance counts, same solution bits, same history bits.
+func requireResultEqual(t *testing.T, label string, want, got Result) {
+	t.Helper()
+	if got.Iters != want.Iters || got.Accepted != want.Accepted {
+		t.Fatalf("%s: iters/accepted = %d/%d, want %d/%d",
+			label, got.Iters, got.Accepted, want.Iters, want.Accepted)
+	}
+	if math.Float64bits(got.Solution.Value) != math.Float64bits(want.Solution.Value) {
+		t.Fatalf("%s: value = %v, want %v", label, got.Solution.Value, want.Solution.Value)
+	}
+	if len(got.Solution.Speeds) != len(want.Solution.Speeds) {
+		t.Fatalf("%s: %d speeds, want %d", label, len(got.Solution.Speeds), len(want.Solution.Speeds))
+	}
+	for i := range want.Solution.Speeds {
+		if got.Solution.Speeds[i] != want.Solution.Speeds[i] {
+			t.Fatalf("%s: speeds[%d] = %d, want %d", label, i, got.Solution.Speeds[i], want.Solution.Speeds[i])
+		}
+		if math.Float64bits(got.Solution.Load[i]) != math.Float64bits(want.Solution.Load[i]) {
+			t.Fatalf("%s: load[%d] = %v, want %v", label, i, got.Solution.Load[i], want.Solution.Load[i])
+		}
+	}
+	if len(got.History) != len(want.History) {
+		t.Fatalf("%s: history length %d, want %d", label, len(got.History), len(want.History))
+	}
+	for i := range want.History {
+		if math.Float64bits(got.History[i]) != math.Float64bits(want.History[i]) {
+			t.Fatalf("%s: history[%d] = %v, want %v", label, i, got.History[i], want.History[i])
+		}
+	}
+}
+
+// TestSpeculativeMatchesSequentialRandomized is the speculative chain's
+// property test: across randomized problems, seeds, temperature schedules,
+// failure masks and patience settings, a Workers ∈ {2, 8, 32} run must
+// reproduce the sequential Result bit-for-bit.
+func TestSpeculativeMatchesSequentialRandomized(t *testing.T) {
+	rng := stats.NewRNG(20130807)
+	const trials = 120
+	for trial := 0; trial < trials; trial++ {
+		nGroups := 3 + rng.IntN(8)
+		p := smallProblem(nGroups, 0)
+		p.LambdaRPS = (0.1 + 0.8*rng.Float64()) * p.Cluster.MaxCapacityRPS()
+		p.OnsiteKW = rng.Float64() * 2
+
+		opts := Options{
+			Seed:          rng.Uint64(),
+			MaxIters:      50 + rng.IntN(300),
+			RecordHistory: true,
+		}
+		switch rng.IntN(4) {
+		case 0:
+			opts.Delta = 1e2 // high acceptance: windows constantly cut short
+		case 1:
+			opts.Delta = 1e8 // heavy saturation: discovery mispredicts draws
+		case 2:
+			opts.Schedule = RampSchedule(1e2, 2, 3, 1e8) // non-window-aligned ramp
+		case 3:
+			opts.Schedule = RampSchedule(10, 3, 7, 1e6)
+		}
+		if rng.IntN(2) == 0 {
+			opts.Patience = 5 + rng.IntN(40)
+		}
+		if rng.IntN(3) == 0 {
+			failed := make([]bool, nGroups)
+			for g := range failed {
+				failed[g] = rng.IntN(4) == 0
+			}
+			failed[rng.IntN(nGroups)] = false // keep at least one group alive
+			opts.Failed = failed
+		}
+
+		seq, seqErr := Solve(p, opts)
+		for _, w := range []int{1, 2, 8, 32} {
+			po := opts
+			po.Workers = w
+			par, parErr := Solve(p, po)
+			if (seqErr == nil) != (parErr == nil) {
+				t.Fatalf("trial %d workers %d: err = %v, sequential err = %v", trial, w, parErr, seqErr)
+			}
+			if seqErr != nil {
+				if parErr.Error() != seqErr.Error() {
+					t.Fatalf("trial %d workers %d: err %q, want %q", trial, w, parErr, seqErr)
+				}
+				continue
+			}
+			requireResultEqual(t, "trial", seq, par)
+		}
+	}
+}
+
+// TestGoldenSolveHashesParallel replays the pinned golden runs with the
+// speculative chain enabled: any worker count must reproduce the exact
+// sequential hashes.
+func TestGoldenSolveHashesParallel(t *testing.T) {
+	cases := []struct {
+		name string
+		want string
+		prob func() *dcmodel.SlotProblem
+		opts Options
+	}{
+		{"paper-seed0", "fnv1a:f05b3282f545a085", func() *dcmodel.SlotProblem {
+			cluster := dcmodel.PaperCluster(200)
+			return &dcmodel.SlotProblem{
+				Cluster: cluster, LambdaRPS: 0.3 * cluster.MaxCapacityRPS(),
+				We: 0.05, Wd: 0.02,
+			}
+		}, Options{Delta: 1e8, MaxIters: 500, Seed: 0}},
+		{"kink", "fnv1a:8f83c9ccf29b00e7", func() *dcmodel.SlotProblem {
+			return smallProblem(6, 100)
+		}, Options{Delta: 1e4, MaxIters: 800, Seed: 42, RecordHistory: true}},
+		{"no-delay", "fnv1a:6d2425c0e4f31a48", func() *dcmodel.SlotProblem {
+			nc := dcmodel.HeterogeneousCluster(60, 6)
+			return &dcmodel.SlotProblem{
+				Cluster: nc, LambdaRPS: 0.3 * nc.MaxCapacityRPS(),
+				We: 0.1, Wd: 0, OnsiteKW: 6,
+			}
+		}, Options{Delta: 1e5, MaxIters: 600, Seed: 9, RecordHistory: true}},
+	}
+	for _, tc := range cases {
+		for _, w := range []int{2, 8} {
+			opts := tc.opts
+			opts.Workers = w
+			res, err := Solve(tc.prob(), opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := hashRun(res); got != tc.want {
+				t.Errorf("%s workers=%d: hash = %s, want %s", tc.name, w, got, tc.want)
+			}
+		}
+	}
+}
+
+// TestGoldenSolverSequenceHashParallel pins the warm-started Solver slot
+// sequence with speculation on: the pooled-engine + parallel chain must
+// reproduce the sequential sequence hash exactly.
+func TestGoldenSolverSequenceHashParallel(t *testing.T) {
+	const want = "fnv1a:b1f60cea6e778a36"
+	s := &Solver{Opts: Options{Delta: 1e5, MaxIters: 400, Seed: 21, Workers: 8}}
+	var sols []dcmodel.Solution
+	for _, lam := range []float64{40, 140, 80} {
+		sol, err := s.Solve(smallProblem(3, lam))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sols = append(sols, sol)
+	}
+	if got := hashSolutions(sols); got != want {
+		t.Errorf("solver sequence hash = %s, want %s", got, want)
+	}
+}
+
+// TestScheduleAbsoluteIterationIndexing is the regression test for
+// temperature/patience indexing under batching: a ramp whose growth step
+// (3) never aligns with the speculation window, a small δ0 that forces
+// frequent mid-window acceptances (each one cuts the window short and
+// re-speculates from an arbitrary offset), and a patience bound that exits
+// mid-window. If replay ever fed the schedule a window-relative index, or
+// patience counted windows instead of iterations, the histories diverge.
+func TestScheduleAbsoluteIterationIndexing(t *testing.T) {
+	p := smallProblem(5, 80)
+	opts := Options{
+		Schedule:      RampSchedule(50, 2, 3, 1e7),
+		MaxIters:      400,
+		Patience:      60,
+		Seed:          77,
+		RecordHistory: true,
+	}
+	seq, err := Solve(p, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.Iters == opts.MaxIters {
+		t.Fatalf("want a patience exit to exercise mid-window stopping; ran all %d iters", seq.Iters)
+	}
+	if seq.Accepted == 0 {
+		t.Fatal("want mid-window acceptances; none happened")
+	}
+	for _, w := range []int{2, 8, 32} {
+		po := opts
+		po.Workers = w
+		par, err := Solve(p, po)
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireResultEqual(t, "workers", seq, par)
+	}
+}
+
+// TestSpeculative32WorkerRace exercises the 32-worker window fan-out on a
+// problem large enough to keep every worker busy; run with -race this
+// checks the per-worker instance/buffer ownership discipline.
+func TestSpeculative32WorkerRace(t *testing.T) {
+	cluster := dcmodel.PaperCluster(64)
+	p := &dcmodel.SlotProblem{
+		Cluster: cluster, LambdaRPS: 0.4 * cluster.MaxCapacityRPS(),
+		We: 0.05, Wd: 0.02, OnsiteKW: 2,
+	}
+	opts := Options{Schedule: RampSchedule(1e3, 2, 25, 1e8), MaxIters: 300, Seed: 3}
+	seq, err := Solve(p, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Workers = 32
+	par, err := Solve(p, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireResultEqual(t, "race", seq, par)
+}
+
+// TestSpeculationAccounting checks the wasted-work bookkeeping invariant:
+// every speculative evaluation is eventually either served to the replay
+// or counted as wasted, and speculation actually engages on a ramped run.
+func TestSpeculationAccounting(t *testing.T) {
+	r := telemetry.NewRegistry()
+	m := telemetry.NewSolveMetrics(r, "gsd")
+	cluster := dcmodel.PaperCluster(64)
+	p := &dcmodel.SlotProblem{
+		Cluster: cluster, LambdaRPS: 0.4 * cluster.MaxCapacityRPS(),
+		We: 0.05, Wd: 0.02,
+	}
+	_, err := Solve(p, Options{
+		Schedule: RampSchedule(1e3, 2, 25, 1e8),
+		MaxIters: 400, Seed: 11, Workers: 4, Metrics: m,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	windows, evals := m.SpecWindows.Value(), m.SpecEvals.Value()
+	hits, wasted := m.SpecHits.Value(), m.SpecWasted.Value()
+	if windows == 0 || evals == 0 || hits == 0 {
+		t.Fatalf("speculation never engaged: windows=%v evals=%v hits=%v", windows, evals, hits)
+	}
+	if hits+wasted != evals {
+		t.Fatalf("hits (%v) + wasted (%v) != evals (%v)", hits, wasted, evals)
+	}
+}
+
+// TestSolverPooledEngineParity checks that a Solver's pooled engine is
+// invisible: a sequence of Solve calls on one Solver (reusing the engine)
+// must match the same sequence on per-slot fresh Solvers wired to the same
+// evolving seed/warm-start state... which is exactly what two independent
+// Solvers with identical Options produce.
+func TestSolverPooledEngineParity(t *testing.T) {
+	mk := func() *Solver {
+		return &Solver{Opts: Options{Delta: 1e4, MaxIters: 300, Seed: 99}}
+	}
+	a, b := mk(), mk()
+	for i, lam := range []float64{60, 120, 30, 90, 150} {
+		pa := smallProblem(4, lam)
+		pb := smallProblem(4, lam)
+		sa, errA := a.Solve(pa)
+		sb, errB := b.Solve(pb)
+		if (errA == nil) != (errB == nil) {
+			t.Fatalf("slot %d: errs %v vs %v", i, errA, errB)
+		}
+		if errA != nil {
+			continue
+		}
+		// Returned solutions must also be immune to later pooled-engine
+		// reuse: compare after the next call, below.
+		if math.Float64bits(sa.Value) != math.Float64bits(sb.Value) {
+			t.Fatalf("slot %d: value %v vs %v", i, sa.Value, sb.Value)
+		}
+		for g := range sa.Speeds {
+			if sa.Speeds[g] != sb.Speeds[g] || math.Float64bits(sa.Load[g]) != math.Float64bits(sb.Load[g]) {
+				t.Fatalf("slot %d: mismatch at group %d", i, g)
+			}
+		}
+	}
+}
+
+// TestSolverPooledResultNotClobbered pins the aliasing contract: a Solution
+// returned by Solver.Solve must stay intact when the pooled engine is
+// reused by the next call.
+func TestSolverPooledResultNotClobbered(t *testing.T) {
+	s := &Solver{Opts: Options{Delta: 1e4, MaxIters: 200, Seed: 5}}
+	first, err := s.Solve(smallProblem(4, 60))
+	if err != nil {
+		t.Fatal(err)
+	}
+	keepSpeeds := append([]int(nil), first.Speeds...)
+	keepLoad := append([]float64(nil), first.Load...)
+	if _, err := s.Solve(smallProblem(4, 130)); err != nil {
+		t.Fatal(err)
+	}
+	for i := range keepSpeeds {
+		if first.Speeds[i] != keepSpeeds[i] || math.Float64bits(first.Load[i]) != math.Float64bits(keepLoad[i]) {
+			t.Fatalf("returned solution mutated by pooled-engine reuse at %d", i)
+		}
+	}
+}
+
+// TestNegativeWorkersRejected pins the validation rule shared with the
+// other worker knobs: negative is an error, never a silent default.
+func TestNegativeWorkersRejected(t *testing.T) {
+	_, err := Solve(smallProblem(3, 40), Options{Delta: 1e4, MaxIters: 50, Workers: -1})
+	if err == nil {
+		t.Fatal("want error for Workers = -1")
+	}
+}

@@ -233,22 +233,50 @@ type Instance struct {
 // ErrInfeasible when the speed vector cannot carry the problem's λ.
 // The speed vector is copied; mutate the instance through SetSpeed.
 func NewInstance(p *dcmodel.SlotProblem, speeds []int) (*Instance, error) {
+	in := &Instance{}
+	if err := in.Reset(p, speeds); err != nil {
+		return nil, err
+	}
+	return in, nil
+}
+
+// Reset re-prepares the instance for a new (problem, speeds) pair, reusing
+// every internal buffer. The resulting state is bit-for-bit identical to a
+// fresh NewInstance build: the on-group slices are rebuilt in the same
+// ascending order with the same arithmetic, and the tracked sums come from
+// the same recompute. On error the instance is left invalid; it must be
+// Reset successfully before further use.
+func (in *Instance) Reset(p *dcmodel.SlotProblem, speeds []int) error {
 	if len(speeds) != len(p.Cluster.Groups) {
-		return nil, fmt.Errorf("loadbalance: %d speeds for %d groups",
+		return fmt.Errorf("loadbalance: %d speeds for %d groups",
 			len(speeds), len(p.Cluster.Groups))
 	}
-	in := &Instance{
-		prob:   p,
-		arr:    p.Cluster.Arrays(),
-		speeds: append([]int(nil), speeds...),
-		pos:    make([]int, len(p.Cluster.Groups)),
-		static: make([]float64, len(p.Cluster.Groups)),
+	n := len(p.Cluster.Groups)
+	in.prob = p
+	in.arr = p.Cluster.Arrays()
+	in.speeds = append(in.speeds[:0], speeds...)
+	if cap(in.pos) < n {
+		in.pos = make([]int, 0, n)
+		in.static = make([]float64, 0, n)
+	}
+	in.pos = in.pos[:n]
+	in.static = in.static[:n]
+	if cap(in.gIdx) < n {
+		in.gIdx = make([]int, 0, n)
+		in.gN = make([]float64, 0, n)
+		in.gRate = make([]float64, 0, n)
+		in.gSlope = make([]float64, 0, n)
+		in.gCap = make([]float64, 0, n)
+	} else {
+		in.gIdx, in.gN, in.gRate, in.gSlope, in.gCap =
+			in.gIdx[:0], in.gN[:0], in.gRate[:0], in.gSlope[:0], in.gCap[:0]
 	}
 	in.sys.in = in
+	in.undo.valid = false
 	for g := range p.Cluster.Groups {
 		k := speeds[g]
 		if k < 0 || k > in.arr.NumSpeeds[g] {
-			return nil, fmt.Errorf("loadbalance: group %d speed index %d out of range", g, k)
+			return fmt.Errorf("loadbalance: group %d speed index %d out of range", g, k)
 		}
 		in.static[g] = p.Cluster.PUE * in.arr.N[g] * in.arr.StaticKW[g]
 		in.pos[g] = -1
@@ -260,9 +288,9 @@ func NewInstance(p *dcmodel.SlotProblem, speeds []int) (*Instance, error) {
 	}
 	in.recompute()
 	if p.LambdaRPS > in.capSum*(1+1e-12) {
-		return nil, ErrInfeasible
+		return ErrInfeasible
 	}
-	return in, nil
+	return nil
 }
 
 // appendEntry pushes one on group onto the end of the parallel slices.
@@ -314,6 +342,28 @@ func (in *Instance) Speeds() []int { return in.speeds }
 // bit-for-bit the same.
 func (in *Instance) Feasible() bool {
 	return in.prob.LambdaRPS <= in.rateSum*in.prob.Cluster.Gamma*(1+1e-12)
+}
+
+// ProposalFeasible estimates whether retargeting group g to speed k would
+// leave the configuration feasible, without mutating the instance. The rate
+// sum is delta-adjusted rather than recomputed as a fresh ordered sum, so in
+// borderline cases (within a few ulps of the γ bound) the answer may differ
+// from what SetSpeed+Feasible would report — callers must treat it as an
+// advisory prediction, never as the authoritative check.
+func (in *Instance) ProposalFeasible(g, k int) bool {
+	if g < 0 || g >= len(in.pos) || k < 0 || k > in.arr.NumSpeeds[g] {
+		return false
+	}
+	var cur float64
+	if p := in.pos[g]; p >= 0 {
+		cur = in.gRate[p]
+	}
+	var next float64
+	if k > 0 {
+		next = in.arr.Rate(g, k)
+	}
+	rs := in.rateSum - cur + next
+	return in.prob.LambdaRPS <= rs*in.prob.Cluster.Gamma*(1+1e-12)
 }
 
 // SetSpeed retargets cluster group g to speed index k, updating the prepared

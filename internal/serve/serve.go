@@ -74,7 +74,7 @@ type Decision struct {
 
 // State is the service's queryable running state (the /state document).
 type State struct {
-	Slot     int     `json:"slot"`     // next slot to be stepped
+	Slot     int     `json:"slot"` // next slot to be stepped
 	Queue    float64 `json:"queue_kwh"`
 	TotalUSD float64 `json:"total_usd"`
 	GridKWh  float64 `json:"grid_kwh"`

@@ -18,20 +18,54 @@ import (
 // from math/rand/v2 and is NOT safe for concurrent use; derive independent
 // streams with Split for concurrent components.
 type RNG struct {
-	r *rand.Rand
+	r   *rand.Rand
+	src *rand.PCG
 }
 
 // NewRNG returns a generator seeded with the given seed. Two RNGs created
 // with the same seed produce identical streams.
 func NewRNG(seed uint64) *RNG {
-	return &RNG{r: rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15))}
+	src := rand.NewPCG(seed, seed^0x9e3779b97f4a7c15)
+	return &RNG{r: rand.New(src), src: src}
 }
 
 // Split derives an independent child generator from the parent stream. The
 // child's sequence is fully determined by the parent's seed and the number
 // and order of prior Split/sample calls.
 func (g *RNG) Split() *RNG {
-	return &RNG{r: rand.New(rand.NewPCG(g.r.Uint64(), g.r.Uint64()))}
+	src := rand.NewPCG(g.r.Uint64(), g.r.Uint64())
+	return &RNG{r: rand.New(src), src: src}
+}
+
+// Reseed rewinds the generator to the exact state NewRNG(seed) would
+// produce, reusing the existing allocation. It exists so pooled solver
+// engines can be re-armed without fresh RNG allocations.
+func (g *RNG) Reseed(seed uint64) {
+	g.src.Seed(seed, seed^0x9e3779b97f4a7c15)
+}
+
+// Clone returns an independent copy positioned at the same point in the
+// stream: the clone and the original produce identical future draws without
+// affecting each other. Useful for speculative look-ahead that must not
+// advance the real stream.
+func (g *RNG) Clone() *RNG {
+	c := NewRNG(0)
+	g.CloneInto(c)
+	return c
+}
+
+// CloneInto copies the generator state into dst (allocation-free after the
+// first use), leaving dst positioned exactly where g is in the stream.
+func (g *RNG) CloneInto(dst *RNG) {
+	state, err := g.src.MarshalBinary()
+	if err != nil {
+		// PCG.MarshalBinary cannot fail; keep the invariant loud if the
+		// runtime ever changes that.
+		panic("stats: PCG MarshalBinary failed: " + err.Error())
+	}
+	if err := dst.src.UnmarshalBinary(state); err != nil {
+		panic("stats: PCG UnmarshalBinary failed: " + err.Error())
+	}
 }
 
 // Float64 returns a uniform sample in [0, 1).

@@ -1,0 +1,62 @@
+package stats
+
+import "testing"
+
+// TestReseedMatchesFresh pins Reseed's contract: after Reseed(s) a consumed
+// generator produces the exact stream NewRNG(s) would.
+func TestReseedMatchesFresh(t *testing.T) {
+	g := NewRNG(1)
+	for i := 0; i < 1000; i++ {
+		g.Float64()
+		g.IntN(17)
+	}
+	for _, seed := range []uint64{0, 1, 42, ^uint64(0)} {
+		g.Reseed(seed)
+		fresh := NewRNG(seed)
+		for i := 0; i < 200; i++ {
+			if a, b := g.Uint64(), fresh.Uint64(); a != b {
+				t.Fatalf("seed %d draw %d: %d != %d", seed, i, a, b)
+			}
+		}
+	}
+}
+
+// TestCloneStreamsIdenticalAndIndependent pins Clone/CloneInto: the clone
+// continues the parent's stream exactly, and advancing one never moves the
+// other.
+func TestCloneStreamsIdenticalAndIndependent(t *testing.T) {
+	g := NewRNG(7)
+	for i := 0; i < 123; i++ {
+		g.Float64()
+	}
+	c := g.Clone()
+	for i := 0; i < 500; i++ {
+		if a, b := g.Float64(), c.Float64(); a != b {
+			t.Fatalf("draw %d: clone diverged (%v != %v)", i, a, b)
+		}
+	}
+	// Advance only the clone; the parent must be unaffected.
+	ref := g.Clone()
+	for i := 0; i < 50; i++ {
+		c.Uint64()
+	}
+	for i := 0; i < 100; i++ {
+		if a, b := g.Uint64(), ref.Uint64(); a != b {
+			t.Fatalf("draw %d: advancing a clone moved the parent", i)
+		}
+	}
+}
+
+// TestCloneIntoReuses checks CloneInto re-targets an existing generator
+// in place (the speculative engine clones into one long-lived buffer).
+func TestCloneIntoReuses(t *testing.T) {
+	g := NewRNG(3)
+	dst := NewRNG(999)
+	dst.Float64()
+	g.CloneInto(dst)
+	for i := 0; i < 100; i++ {
+		if a, b := g.Float64(), dst.Float64(); a != b {
+			t.Fatalf("draw %d: CloneInto target diverged", i)
+		}
+	}
+}

@@ -17,12 +17,20 @@ import (
 // only state owned by their index, so the parallel schedule changes timing
 // but never results.
 func Fan(workers, n int, job func(int)) {
+	FanID(workers, n, func(_, i int) { job(i) })
+}
+
+// FanID is Fan with the worker identity exposed: job(worker, i) runs with
+// worker in [0, effective workers), so callers can address per-worker
+// scratch (e.g. a cloned solver instance per goroutine) without locking.
+// The sequential path always reports worker 0.
+func FanID(workers, n int, job func(worker, i int)) {
 	if workers > n {
 		workers = n
 	}
 	if workers <= 1 || n <= 1 {
 		for i := 0; i < n; i++ {
-			job(i)
+			job(0, i)
 		}
 		return
 	}
@@ -30,16 +38,16 @@ func Fan(workers, n int, job func(int)) {
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(worker int) {
 			defer wg.Done()
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
 				}
-				job(i)
+				job(worker, i)
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 }

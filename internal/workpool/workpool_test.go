@@ -61,3 +61,54 @@ func TestFanIndexAddressedResults(t *testing.T) {
 		}
 	}
 }
+
+// TestFanIDWorkerOwnership checks FanID's contract: every index runs
+// exactly once, each reported worker id is in [0, effective workers), and
+// a worker id is never live on two goroutines at once (per-worker scratch
+// needs exclusive ownership).
+func TestFanIDWorkerOwnership(t *testing.T) {
+	const n = 300
+	for _, workers := range []int{0, 1, 4, 32} {
+		counts := make([]atomic.Int64, n)
+		eff := workers
+		if eff > n {
+			eff = n
+		}
+		if eff < 1 {
+			eff = 1
+		}
+		live := make([]atomic.Int64, eff)
+		FanID(workers, n, func(w, i int) {
+			if w < 0 || w >= eff {
+				t.Errorf("worker id %d out of range [0,%d)", w, eff)
+			}
+			if live[w].Add(1) != 1 {
+				t.Errorf("worker id %d live twice concurrently", w)
+			}
+			counts[i].Add(1)
+			live[w].Add(-1)
+		})
+		for i := range counts {
+			if got := counts[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: job %d ran %d times", workers, i, got)
+			}
+		}
+	}
+}
+
+// TestFanIDSequentialWorkerZero pins the sequential path reporting worker 0
+// for every job in ascending order.
+func TestFanIDSequentialWorkerZero(t *testing.T) {
+	var order []int
+	FanID(1, 4, func(w, i int) {
+		if w != 0 {
+			t.Fatalf("sequential worker id = %d", w)
+		}
+		order = append(order, i)
+	})
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("sequential order = %v", order)
+		}
+	}
+}
