@@ -19,6 +19,7 @@ import (
 	"repro/internal/gsd"
 	"repro/internal/price"
 	"repro/internal/renewable"
+	"repro/internal/reqsim"
 	"repro/internal/sim"
 	"repro/internal/simtest"
 	"repro/internal/telemetry"
@@ -80,6 +81,23 @@ type benchReport struct {
 		MemoHitsPerStep float64 `json:"memo_hits_per_step"` // solves the memo table absorbed
 		ResultHash      string  `json:"result_hash"`        // over every step's split + charges
 	} `json:"geo"`
+	// Reqsim is the request-level discrete-event engine (internal/reqsim):
+	// a sharded M/G/1/PS replay at fleet shape. The hash fingerprints the
+	// merged Result — counters and float aggregates — so any drift in the
+	// event loop, the RNG draw order, or the shard merge shows up as a hash
+	// change; ns/event and allocs/run track the steady-state hot path (the
+	// engine's contract is zero allocations once slabs are warm).
+	Reqsim struct {
+		Requests       int64   `json:"requests"` // simulated requests per run
+		Events         int64   `json:"events"`   // processed events per run
+		Shards         int     `json:"shards"`
+		Runs           int     `json:"runs"`
+		NsPerEvent     float64 `json:"ns_per_event"`
+		EventsPerSec   float64 `json:"events_per_sec"`
+		RequestsPerSec float64 `json:"requests_per_sec"`
+		AllocsPerRun   float64 `json:"allocs_per_run"`
+		ResultHash     string  `json:"result_hash"` // over the merged sharded Result
+	} `json:"reqsim"`
 	// Scale is the -scale fleet grid (see scale.go); empty when -scale was
 	// not given, and compareBench matches its cells by groups×sites.
 	Scale []scaleCell `json:"scale,omitempty"`
@@ -299,6 +317,55 @@ func runBench(path string, workers, gsdWorkers int, reg *telemetry.Registry, sca
 	rep.Geo.MemoHitsPerStep = geoSnap.Counters["geo.memo_hits"] / geoSlots
 	rep.Geo.ResultHash = geoHash.sum()
 
+	// Request-level engine: the sharded M/G/1/PS replay at ρ = 0.7 over 16
+	// replica queues, the shape a slot replay fans out per site. Warm the
+	// pool first so the timed runs exercise the zero-allocation steady
+	// state, then hash the merged result — RunSharded is worker-invariant,
+	// so the hash is a function of (Config, shards) alone and stays
+	// host-independent.
+	reqCfg := reqsim.Config{
+		ArrivalRPS: 7, ServiceRPS: 10, Service: reqsim.ExponentialService(1),
+		Horizon: 3000, Warmup: 100, Seed: 2012,
+	}
+	const reqShards, reqRuns = 16, 5
+	reqPool := reqsim.NewPool(workers)
+	warm, err := reqPool.RunSharded(reqCfg, reqShards)
+	if err != nil {
+		return err
+	}
+	runtime.ReadMemStats(&ms0)
+	reqStart := time.Now()
+	var reqLast reqsim.Result
+	for i := 0; i < reqRuns; i++ {
+		res, err := reqPool.RunSharded(reqCfg, reqShards)
+		if err != nil {
+			return err
+		}
+		reqLast = res
+	}
+	reqElapsed := time.Since(reqStart)
+	runtime.ReadMemStats(&ms1)
+	if reqLast != warm {
+		return fmt.Errorf("reqsim runs diverged on identical config: %+v vs %+v", reqLast, warm)
+	}
+	reqHash := newFnvHash()
+	reqHash.floats(float64(reqLast.Arrived), float64(reqLast.Admitted), float64(reqLast.Dropped),
+		float64(reqLast.Completed), float64(reqLast.Events), float64(reqLast.MaxInSystem),
+		reqLast.MeanJobs, reqLast.MeanRespSec, reqLast.UtilFraction,
+		reqLast.P50Sec, reqLast.P95Sec, reqLast.P99Sec,
+		reqLast.AreaJobsSec, reqLast.MeasuredSec, reqLast.BusySec, reqLast.RespSumSec)
+	rep.Reqsim.Requests = int64(reqLast.Arrived)
+	rep.Reqsim.Events = reqLast.Events
+	rep.Reqsim.Shards = reqShards
+	rep.Reqsim.Runs = reqRuns
+	rep.Reqsim.NsPerEvent = float64(reqElapsed.Nanoseconds()) / float64(reqRuns*reqLast.Events)
+	if sec := reqElapsed.Seconds(); sec > 0 {
+		rep.Reqsim.EventsPerSec = float64(reqRuns*reqLast.Events) / sec
+		rep.Reqsim.RequestsPerSec = float64(reqRuns*int64(reqLast.Arrived)) / sec
+	}
+	rep.Reqsim.AllocsPerRun = float64(ms1.Mallocs-ms0.Mallocs) / reqRuns
+	rep.Reqsim.ResultHash = reqHash.sum()
+
 	// Fleet-scale grid: whole-site GSD solves fanned over the worker pool,
 	// parity-checked against the sequential path before timing.
 	if scaleSpec != "" {
@@ -317,10 +384,11 @@ func runBench(path string, workers, gsdWorkers int, reg *telemetry.Registry, sca
 	if err := os.WriteFile(path, buf, 0o644); err != nil {
 		return err
 	}
-	fmt.Printf("bench: engine %.0f ns/slot; sweep %.0f ms seq / %.0f ms on %d workers (%.2fx, %d cores); gsd %.1f ms/solve, %.0f allocs/solve; geo %.0f us/step, %.0f p3 solves + %.0f memo hits/step -> %s\n",
+	fmt.Printf("bench: engine %.0f ns/slot; sweep %.0f ms seq / %.0f ms on %d workers (%.2fx, %d cores); gsd %.1f ms/solve, %.0f allocs/solve; geo %.0f us/step, %.0f p3 solves + %.0f memo hits/step; reqsim %.1f ns/event, %.1fM req/s, %.0f allocs/run -> %s\n",
 		rep.Engine.NsPerSlot, rep.Sweep.SeqMs, rep.Sweep.ParMs, workers, rep.Sweep.Speedup, rep.Cores,
 		rep.GSD.NsPerSolve/1e6, rep.GSD.AllocsPerSolve,
-		rep.Geo.NsPerStep/1e3, rep.Geo.P3SolvesPerStep, rep.Geo.MemoHitsPerStep, path)
+		rep.Geo.NsPerStep/1e3, rep.Geo.P3SolvesPerStep, rep.Geo.MemoHitsPerStep,
+		rep.Reqsim.NsPerEvent, rep.Reqsim.RequestsPerSec/1e6, rep.Reqsim.AllocsPerRun, path)
 	return nil
 }
 
@@ -423,6 +491,17 @@ func compareBench(path, basePath string) error {
 	}
 	slower("geo ns/step", fresh.Geo.NsPerStep, base.Geo.NsPerStep)
 	slower("geo p3 solves/step", fresh.Geo.P3SolvesPerStep, base.Geo.P3SolvesPerStep)
+	// Request-level engine: the hash is worker-invariant (function of the
+	// config and shard count alone) so it gets the usual zero tolerance; a
+	// baseline that predates the section has an empty hash and zero timings
+	// and every gate skips.
+	if base.Reqsim.ResultHash != "" && fresh.Reqsim.ResultHash != base.Reqsim.ResultHash {
+		problems = append(problems, fmt.Sprintf(
+			"reqsim result hash changed: %s -> %s (event loop, RNG order or shard merge differs from baseline)",
+			base.Reqsim.ResultHash, fresh.Reqsim.ResultHash))
+	}
+	slower("reqsim ns/event", fresh.Reqsim.NsPerEvent, base.Reqsim.NsPerEvent)
+	slower("reqsim allocs/run", fresh.Reqsim.AllocsPerRun, base.Reqsim.AllocsPerRun)
 	// Scale cells are matched by their groups×sites grid point; a fresh cell
 	// with no baseline counterpart (grid grew, or baseline predates -scale)
 	// is informational only. Hashes are host-independent and get no

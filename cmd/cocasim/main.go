@@ -62,6 +62,11 @@ func main() {
 		metricsAddr = flag.String("metrics-addr", "", "serve live telemetry on this address (/metrics JSON, /spans, /debug/vars expvar, /debug/pprof)")
 		telemJSON   = flag.String("telemetry-json", "", "write the final telemetry snapshot as JSON to this path")
 
+		reqsim        = flag.Int("reqsim", 0, "with -stream: replay each settled slot at request granularity with ~this many simulated requests (0: off); prints empirical-vs-analytic delay error and exports per-slot percentiles")
+		reqsimService = flag.String("reqsim-service", "exp", "service-time distribution for -reqsim replays: exp|det|hyperexp|pareto (pareto is the heavy-tailed arm)")
+		reqsimEvery   = flag.Int("reqsim-every", 1, "replay every kth settled slot (sampling knob for long -reqsim runs)")
+		reqsimBursty  = flag.Bool("reqsim-bursty", false, "replace Poisson arrivals with a bursty on/off process in -reqsim replays (the arm where Eq. 4 is knowably wrong)")
+
 		traceOut     = flag.String("trace-out", "", "record execution spans and write them as Chrome trace-event JSON to this path (open in ui.perfetto.dev or chrome://tracing)")
 		traceSpans   = flag.String("trace-spans", "", "record execution spans and write them as NDJSON (one span per line) to this path")
 		benchAgainst = flag.String("bench-against", "", "with -bench-json: compare the fresh report against this baseline (hard equality on result hashes, ±25% wall-time tolerance) and exit non-zero on regression")
@@ -86,6 +91,9 @@ func main() {
 		cliutil.NonNegativeFloat("-beta", *beta),
 		cliutil.NonNegativeFloat("-budget", *budget),
 		cliutil.PositiveFloat("-v", *vParam),
+		cliutil.NonNegativeCount("-reqsim", *reqsim),
+		cliutil.PositiveCount("-reqsim-every", *reqsimEvery),
+		cliutil.OneOf("-reqsim-service", *reqsimService, "exp", "det", "hyperexp", "pareto"),
 	); err != nil {
 		logger.Error("bad flags", "error", err)
 		os.Exit(2)
@@ -174,7 +182,8 @@ func main() {
 	}
 
 	if *stream != "" {
-		if err := runSingle(cfg, *policy, *vParam, *stream, reg, tracer); err != nil {
+		rq := reqsimFlags{requests: *reqsim, service: *reqsimService, every: *reqsimEvery, bursty: *reqsimBursty}
+		if err := runSingle(cfg, *policy, *vParam, *stream, rq, reg, tracer); err != nil {
 			logger.Error("run failed", "error", err)
 			os.Exit(1)
 		}

@@ -14,15 +14,41 @@ import (
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/lyapunov"
+	"repro/internal/reqsim"
 	"repro/internal/sim"
 	"repro/internal/telemetry"
 	"repro/internal/telemetry/span"
 )
 
+// reqsimFlags carries the -reqsim* flag block into runSingle: requests is
+// the per-slot simulated request target (0 disables the replay entirely).
+type reqsimFlags struct {
+	requests int
+	service  string
+	every    int
+	bursty   bool
+}
+
+// sampler maps the -reqsim-service choice (validated by cliutil.OneOf in
+// main) to a unit-mean service distribution, so ρ per replayed server stays
+// λ/x regardless of shape.
+func (f reqsimFlags) sampler() reqsim.ServiceSampler {
+	switch f.service {
+	case "det":
+		return reqsim.DeterministicService(1)
+	case "hyperexp":
+		return reqsim.HyperexpService(1, 0.15)
+	case "pareto":
+		return reqsim.ParetoService(1, 1.8)
+	default:
+		return reqsim.ExponentialService(1)
+	}
+}
+
 // runSingle runs one policy over cfg's scenario, streaming every settled
 // slot to streamPath ("-" for stdout), folding run metrics into reg and
 // recording execution spans into tracer (nil: tracing off).
-func runSingle(cfg experiments.Config, policyName string, v float64, streamPath string, reg *telemetry.Registry, tracer *span.Tracer) error {
+func runSingle(cfg experiments.Config, policyName string, v float64, streamPath string, rq reqsimFlags, reg *telemetry.Registry, tracer *span.Tracer) error {
 	sc, _, err := cfg.Scenario(false)
 	if err != nil {
 		return err
@@ -45,6 +71,19 @@ func runSingle(cfg experiments.Config, policyName string, v float64, streamPath 
 	}
 
 	observers := []sim.Observer{rm.Observer()}
+	var replayer *reqsim.SlotReplayer
+	if rq.requests > 0 {
+		replayer = reqsim.NewSlotReplayer(sc.Server, reqsim.ReplayOptions{
+			Requests: rq.requests,
+			Service:  rq.sampler(),
+			Bursty:   rq.bursty,
+			Every:    rq.every,
+			Seed:     cfg.Seed,
+			Metrics:  telemetry.NewReqsimMetrics(reg, "reqsim"),
+			Tracer:   tracer,
+		})
+		observers = append(observers, replayer.Observer())
+	}
 	if streamPath != "" {
 		var w io.Writer = os.Stdout
 		if streamPath != "-" {
@@ -68,6 +107,11 @@ func runSingle(cfg experiments.Config, policyName string, v float64, streamPath 
 	fmt.Printf("%s over %d slots: avg cost $%.2f/slot (elec $%.2f, delay $%.2f, switch $%.2f); grid %.0f kWh = %.1f%% of budget\n",
 		res.Policy, s.Slots, s.AvgHourlyCostUSD, s.AvgElectricityUSD, s.AvgDelayUSD, s.AvgSwitchUSD,
 		s.TotalGridKWh, 100*s.BudgetUsedFraction)
+	if replayer != nil {
+		fmt.Printf("reqsim (%s arrivals, %s service): %s\n",
+			map[bool]string{false: "poisson", true: "bursty"}[rq.bursty],
+			rq.sampler(), replayer.Report())
+	}
 	return nil
 }
 

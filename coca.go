@@ -18,6 +18,7 @@ import (
 	"repro/internal/price"
 	"repro/internal/queueing"
 	"repro/internal/renewable"
+	"repro/internal/reqsim"
 	"repro/internal/serve"
 	"repro/internal/sim"
 	"repro/internal/simtest"
@@ -467,6 +468,65 @@ func SimulateQueue(cfg QueueConfig) (QueueResult, error) { return queueing.Simul
 // AnalyticMeanJobs is the M/G/1/PS prediction λ/(x−λ) behind Eq. (4).
 func AnalyticMeanJobs(arrivalRPS, serviceRPS float64) float64 {
 	return queueing.AnalyticMeanJobs(arrivalRPS, serviceRPS)
+}
+
+// Request-level engine (internal/reqsim): the high-throughput sharded
+// M/G/1/PS simulator and its slot-pipeline replay hooks. Unlike the
+// reference queueing simulator above — which it matches bit for bit on
+// identical seeds — it recycles every slab across runs (zero steady-state
+// allocations) and fans shards over a worker pool with results invariant
+// to the worker count.
+type (
+	// ReqsimConfig configures one request-level simulation.
+	ReqsimConfig = reqsim.Config
+	// ReqsimResult summarizes a request-level run (journey counters plus
+	// exact P50/P95/P99 response-time percentiles).
+	ReqsimResult = reqsim.Result
+	// ReqsimEngine is a reusable zero-steady-state-allocation simulator.
+	ReqsimEngine = reqsim.Engine
+	// ReqsimPool fans independent shards over workers and merges
+	// deterministically in shard order.
+	ReqsimPool = reqsim.Pool
+	// ReqsimServiceSampler is a closure-free service distribution; build
+	// with the reqsim constructors to add the heavy-tailed Pareto arm.
+	ReqsimServiceSampler = reqsim.ServiceSampler
+	// ReplayOptions configures a slot or fleet replayer.
+	ReplayOptions = reqsim.ReplayOptions
+	// ReplayReport aggregates empirical-vs-analytic delay error over a run.
+	ReplayReport = reqsim.ReplayReport
+	// SlotReplayer re-simulates each settled slot's (λ, x) at request
+	// granularity from a sim.Observer hook.
+	SlotReplayer = reqsim.SlotReplayer
+	// FleetReplayer does the same per site from a geo settle hook.
+	FleetReplayer = reqsim.FleetReplayer
+)
+
+// NewReqsimEngine returns a reusable request-level simulator.
+func NewReqsimEngine() *ReqsimEngine { return reqsim.NewEngine() }
+
+// NewReqsimPool returns a sharded runner over the given worker count.
+func NewReqsimPool(workers int) *ReqsimPool { return reqsim.NewPool(workers) }
+
+// SimulateRequests runs one request-level simulation on a fresh engine.
+func SimulateRequests(cfg ReqsimConfig) (ReqsimResult, error) { return reqsim.Simulate(cfg) }
+
+// ParetoService returns a heavy-tailed Pareto requirement distribution
+// (alpha > 1) for the arm where the analytic model's insensitivity
+// argument converges only slowly.
+func ParetoService(mean, alpha float64) ReqsimServiceSampler {
+	return reqsim.ParetoService(mean, alpha)
+}
+
+// NewSlotReplayer wires request-level replay into a sim run: pass its
+// Observer to RunObserved/RunTraced.
+func NewSlotReplayer(server ServerType, opts ReplayOptions) *SlotReplayer {
+	return reqsim.NewSlotReplayer(server, opts)
+}
+
+// NewFleetReplayer wires request-level replay into a geo.Fleet run: pass
+// its Observer to Fleet.SetSettleObserver.
+func NewFleetReplayer(siteNames []string, opts ReplayOptions) *FleetReplayer {
+	return reqsim.NewFleetReplayer(siteNames, opts)
 }
 
 // Control plane (the cocad daemon's library surface): the controller as a

@@ -8,6 +8,7 @@ package cliutil
 import (
 	"fmt"
 	"math"
+	"strings"
 )
 
 // Workers validates a -workers flag. 0 is the documented "all cores"
@@ -65,6 +66,17 @@ func NonNegativeFloat(name string, v float64) error {
 		return fmt.Errorf("%s must be a finite value >= 0; got %v", name, v)
 	}
 	return nil
+}
+
+// OneOf validates an enumerated string flag against its legal choices.
+// The error spells out the full choice list so main can print it verbatim.
+func OneOf(name, v string, choices ...string) error {
+	for _, c := range choices {
+		if v == c {
+			return nil
+		}
+	}
+	return fmt.Errorf("%s must be one of %s; got %q", name, strings.Join(choices, "|"), v)
 }
 
 // FirstError returns the first non-nil error, so main can validate a flag

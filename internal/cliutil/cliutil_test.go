@@ -56,6 +56,23 @@ func TestFloats(t *testing.T) {
 	}
 }
 
+func TestOneOf(t *testing.T) {
+	for _, ok := range []string{"exp", "pareto"} {
+		if err := OneOf("-reqsim-service", ok, "exp", "det", "hyperexp", "pareto"); err != nil {
+			t.Errorf("OneOf(%q) = %v", ok, err)
+		}
+	}
+	err := OneOf("-reqsim-service", "gaussian", "exp", "det", "hyperexp", "pareto")
+	if err == nil {
+		t.Fatal("OneOf accepted a value outside the choice list")
+	}
+	for _, want := range []string{"-reqsim-service", "gaussian", "exp|det|hyperexp|pareto"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q missing %q", err, want)
+		}
+	}
+}
+
 func TestFirstError(t *testing.T) {
 	if err := FirstError(nil, nil); err != nil {
 		t.Errorf("FirstError(nil, nil) = %v", err)

@@ -83,7 +83,16 @@ type Fleet struct {
 
 	metrics   *telemetry.FleetMetrics
 	siteInstr []*telemetry.FleetSiteMetrics // cached per-site handles, index-aligned with Sites
+
+	settleOb SettleObserver
 }
+
+// SettleObserver is a per-slot instrumentation hook for fleet runs: it
+// receives each settled slot's index and outcome after the deficit queues
+// have absorbed it, before the clock advances. Observers must not mutate
+// the outcome; they are for metrics, request-level replays and tests —
+// the fleet analogue of sim.Observer.
+type SettleObserver func(slot int, out FleetStepOutcome)
 
 // fleetSeedStride decorrelates per-site GSD seeds: site i's chain starts at
 // base + (i+1)·stride (a splitmix64-style odd constant), so sites never
@@ -350,5 +359,13 @@ func (f *Fleet) Settle(out FleetStepOutcome) {
 			f.siteInstr[i].DeficitKWh.Set(f.queues[i].Len())
 		}
 	}
+	if f.settleOb != nil {
+		f.settleOb(t, out)
+	}
 	f.slot++
 }
+
+// SetSettleObserver attaches the per-slot settle hook (nil detaches). The
+// observer runs synchronously inside Settle; it sees the slot index being
+// settled and the outcome Settle was called with.
+func (f *Fleet) SetSettleObserver(ob SettleObserver) { f.settleOb = ob }

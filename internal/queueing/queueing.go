@@ -10,11 +10,20 @@
 // dF/dt = x/n(t), a job arriving at time a with requirement S completes
 // when F reaches F(a) + S. Tracking jobs in a min-heap keyed by that
 // completion level makes every event O(log n).
+//
+// This package is the small, obviously-correct oracle. The high-throughput
+// engine in internal/reqsim is parity-tested bit-for-bit against it, so it
+// stays deliberately simple — but not wasteful: the job heap is a plain
+// slice (no container/heap interface boxing, which allocated one `any` per
+// arrival), and the built-in service distributions hoist their parameter
+// arithmetic out of the per-event sampling path. TestSimulateAllocsBounded
+// pins the per-run allocation count so the oracle's own benchmarks stay
+// honest.
 package queueing
 
 import (
-	"container/heap"
 	"errors"
+	"fmt"
 	"math"
 
 	"repro/internal/stats"
@@ -26,9 +35,10 @@ import (
 type ServiceDist func(rng *stats.RNG) float64
 
 // ExponentialService returns an exponential requirement distribution with
-// the given mean.
+// the given mean. The rate 1/mean is computed once here, not per sample.
 func ExponentialService(mean float64) ServiceDist {
-	return func(rng *stats.RNG) float64 { return rng.Exponential(1 / mean) }
+	rate := 1 / mean
+	return func(rng *stats.RNG) float64 { return rng.Exponential(rate) }
 }
 
 // DeterministicService returns a constant requirement.
@@ -40,17 +50,19 @@ func DeterministicService(mean float64) ServiceDist {
 // given mean and a coefficient of variation above 1 — a high-variance
 // distribution to exercise the PS insensitivity property. p balances the
 // two phases (0 < p < 1); phase means are mean/(2p) and mean/(2(1−p)).
+// Both phase rates are precomputed, so sampling costs two RNG draws and no
+// arithmetic on the hot path.
 func HyperexpService(mean, p float64) ServiceDist {
 	if p <= 0 || p >= 1 {
 		panic("queueing: HyperexpService requires p in (0,1)")
 	}
-	m1 := mean / (2 * p)
-	m2 := mean / (2 * (1 - p))
+	r1 := 1 / (mean / (2 * p))
+	r2 := 1 / (mean / (2 * (1 - p)))
 	return func(rng *stats.RNG) float64 {
 		if rng.Bernoulli(p) {
-			return rng.Exponential(1 / m1)
+			return rng.Exponential(r1)
 		}
-		return rng.Exponential(1 / m2)
+		return rng.Exponential(r2)
 	}
 }
 
@@ -65,6 +77,37 @@ type Config struct {
 	MaxJobs    int // optional cap on in-system jobs (0 = unlimited); extra arrivals are dropped
 }
 
+// ErrBadConfig is the sentinel every validation failure wraps: test with
+// errors.Is(err, ErrBadConfig); the full message names the offending field.
+var ErrBadConfig = errors.New("queueing: invalid configuration")
+
+// Validate rejects configurations that would silently simulate a
+// nonsensical, unstable or empty system. Every error wraps ErrBadConfig and
+// names the field, so callers can propagate it verbatim.
+func (cfg *Config) Validate() error {
+	switch {
+	case math.IsNaN(cfg.ArrivalRPS) || math.IsInf(cfg.ArrivalRPS, 0) || cfg.ArrivalRPS < 0:
+		return fmt.Errorf("%w: ArrivalRPS %v must be finite and >= 0", ErrBadConfig, cfg.ArrivalRPS)
+	case math.IsNaN(cfg.ServiceRPS) || math.IsInf(cfg.ServiceRPS, 0) || cfg.ServiceRPS <= 0:
+		return fmt.Errorf("%w: ServiceRPS %v must be finite and > 0", ErrBadConfig, cfg.ServiceRPS)
+	case cfg.Service == nil:
+		return fmt.Errorf("%w: nil Service distribution", ErrBadConfig)
+	case math.IsNaN(cfg.Horizon) || math.IsInf(cfg.Horizon, 0) || cfg.Horizon <= 0:
+		return fmt.Errorf("%w: Horizon %v must be finite and > 0", ErrBadConfig, cfg.Horizon)
+	case math.IsNaN(cfg.Warmup) || cfg.Warmup < 0 || cfg.Warmup >= cfg.Horizon:
+		return fmt.Errorf("%w: Warmup %v must be in [0, Horizon %v)", ErrBadConfig, cfg.Warmup, cfg.Horizon)
+	case cfg.MaxJobs < 0:
+		return fmt.Errorf("%w: MaxJobs %d must be >= 0", ErrBadConfig, cfg.MaxJobs)
+	case cfg.MaxJobs == 0 && cfg.ArrivalRPS >= cfg.ServiceRPS:
+		// With mean-1 requirements ρ = λ/x; an uncapped queue at ρ ≥ 1 has
+		// no steady state — the "measurement" would be an artifact of the
+		// horizon. A MaxJobs cap makes the system finite and is allowed.
+		return fmt.Errorf("%w: unstable system (ArrivalRPS %v >= ServiceRPS %v, utilization >= 1) without a MaxJobs cap",
+			ErrBadConfig, cfg.ArrivalRPS, cfg.ServiceRPS)
+	}
+	return nil
+}
+
 // Result summarizes a run.
 type Result struct {
 	MeanJobs     float64 // time-averaged number in system (compare to λ/(x−λ))
@@ -74,9 +117,6 @@ type Result struct {
 	UtilFraction float64 // measured busy fraction (compare to ρ = λ·E[S]/x)
 }
 
-// ErrBadConfig reports invalid simulation parameters.
-var ErrBadConfig = errors.New("queueing: invalid configuration")
-
 // job is one in-system customer keyed by the fair-share level at which it
 // finishes.
 type job struct {
@@ -84,22 +124,59 @@ type job struct {
 	arrival float64 // wall-clock arrival time
 }
 
+// jobHeap is a plain binary min-heap on doneAt. It deliberately does not
+// implement container/heap: the interface's Push(any) boxes every job into
+// an interface value, one heap allocation per arrival — measurable noise in
+// an oracle that exists to calibrate benchmarks. Push/pop sift exactly as
+// container/heap does, so the event order is unchanged.
 type jobHeap []job
 
-func (h jobHeap) Len() int           { return len(h) }
-func (h jobHeap) Less(i, j int) bool { return h[i].doneAt < h[j].doneAt }
-func (h jobHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
-func (h *jobHeap) Push(x any)        { *h = append(*h, x.(job)) }
-func (h *jobHeap) Pop() any          { old := *h; n := len(old); it := old[n-1]; *h = old[:n-1]; return it }
-func (h jobHeap) Peek() job          { return h[0] }
+func (h *jobHeap) push(j job) {
+	*h = append(*h, j)
+	s := *h
+	// Sift up.
+	i := len(s) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if s[parent].doneAt <= s[i].doneAt {
+			break
+		}
+		s[parent], s[i] = s[i], s[parent]
+		i = parent
+	}
+}
+
+func (h *jobHeap) popMin() job {
+	s := *h
+	n := len(s) - 1
+	top := s[0]
+	s[0] = s[n]
+	s = s[:n]
+	*h = s
+	// Sift down.
+	i := 0
+	for {
+		left := 2*i + 1
+		if left >= n {
+			break
+		}
+		m := left
+		if right := left + 1; right < n && s[right].doneAt < s[left].doneAt {
+			m = right
+		}
+		if s[i].doneAt <= s[m].doneAt {
+			break
+		}
+		s[i], s[m] = s[m], s[i]
+		i = m
+	}
+	return top
+}
 
 // Simulate runs the event-driven M/G/1/PS simulation.
 func Simulate(cfg Config) (Result, error) {
-	if cfg.ArrivalRPS < 0 || cfg.ServiceRPS <= 0 || cfg.Service == nil || cfg.Horizon <= 0 {
-		return Result{}, ErrBadConfig
-	}
-	if cfg.Warmup < 0 || cfg.Warmup >= cfg.Horizon {
-		return Result{}, ErrBadConfig
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
 	}
 	rng := stats.NewRNG(cfg.Seed)
 
@@ -151,7 +228,7 @@ func Simulate(cfg Config) (Result, error) {
 		// Next completion in wall-clock terms.
 		nextDone := math.Inf(1)
 		if len(h) > 0 {
-			nextDone = now + (h.Peek().doneAt-fair)*float64(len(h))/cfg.ServiceRPS
+			nextDone = now + (h[0].doneAt-fair)*float64(len(h))/cfg.ServiceRPS
 		}
 		next := math.Min(nextArrival, nextDone)
 		if next > cfg.Horizon {
@@ -160,7 +237,7 @@ func Simulate(cfg Config) (Result, error) {
 		}
 		advance(next)
 		if next == nextDone && len(h) > 0 {
-			j := heap.Pop(&h).(job)
+			j := h.popMin()
 			if j.arrival >= cfg.Warmup {
 				res.Completed++
 				respSum += now - j.arrival
@@ -171,7 +248,7 @@ func Simulate(cfg Config) (Result, error) {
 		if cfg.MaxJobs > 0 && len(h) >= cfg.MaxJobs {
 			res.Dropped++
 		} else {
-			heap.Push(&h, job{doneAt: fair + cfg.Service(rng), arrival: now})
+			h.push(job{doneAt: fair + cfg.Service(rng), arrival: now})
 		}
 		nextArrival = now + rng.Exponential(cfg.ArrivalRPS)
 	}

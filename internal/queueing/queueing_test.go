@@ -1,6 +1,7 @@
 package queueing
 
 import (
+	"errors"
 	"math"
 	"testing"
 )
@@ -145,14 +146,58 @@ func TestConfigValidation(t *testing.T) {
 	bad := []Config{
 		{ArrivalRPS: -1, ServiceRPS: 1, Service: ExponentialService(1), Horizon: 1},
 		{ArrivalRPS: 1, ServiceRPS: 0, Service: ExponentialService(1), Horizon: 1},
-		{ArrivalRPS: 1, ServiceRPS: 1, Service: nil, Horizon: 1},
-		{ArrivalRPS: 1, ServiceRPS: 1, Service: ExponentialService(1), Horizon: 0},
-		{ArrivalRPS: 1, ServiceRPS: 1, Service: ExponentialService(1), Horizon: 1, Warmup: 2},
+		{ArrivalRPS: 1, ServiceRPS: 2, Service: nil, Horizon: 1},
+		{ArrivalRPS: 1, ServiceRPS: 2, Service: ExponentialService(1), Horizon: 0},
+		{ArrivalRPS: 1, ServiceRPS: 2, Service: ExponentialService(1), Horizon: 1, Warmup: 2},
+		{ArrivalRPS: 1, ServiceRPS: 2, Service: ExponentialService(1), Horizon: 1, Warmup: 1},
+		{ArrivalRPS: math.NaN(), ServiceRPS: 1, Service: ExponentialService(1), Horizon: 1},
+		{ArrivalRPS: math.Inf(1), ServiceRPS: 1, Service: ExponentialService(1), Horizon: 1},
+		{ArrivalRPS: 1, ServiceRPS: math.NaN(), Service: ExponentialService(1), Horizon: 1},
+		{ArrivalRPS: 1, ServiceRPS: 2, Service: ExponentialService(1), Horizon: math.NaN()},
+		{ArrivalRPS: 1, ServiceRPS: 2, Service: ExponentialService(1), Horizon: math.Inf(1)},
+		{ArrivalRPS: 1, ServiceRPS: 2, Service: ExponentialService(1), Horizon: 2, Warmup: math.NaN()},
+		{ArrivalRPS: 1, ServiceRPS: 2, Service: ExponentialService(1), Horizon: 1, MaxJobs: -1},
+		// Unstable (ρ >= 1) without a MaxJobs cap: the run would "measure"
+		// a horizon artifact, not a steady state.
+		{ArrivalRPS: 2, ServiceRPS: 1, Service: ExponentialService(1), Horizon: 1},
+		{ArrivalRPS: 1, ServiceRPS: 1, Service: ExponentialService(1), Horizon: 1},
 	}
 	for i, cfg := range bad {
-		if _, err := Simulate(cfg); err != ErrBadConfig {
+		_, err := Simulate(cfg)
+		if !errors.Is(err, ErrBadConfig) {
 			t.Errorf("case %d: want ErrBadConfig, got %v", i, err)
 		}
+	}
+	// ρ >= 1 is legal when MaxJobs makes the system finite (loss system).
+	ok := Config{ArrivalRPS: 2, ServiceRPS: 1, Service: ExponentialService(1),
+		Horizon: 10, MaxJobs: 5}
+	if _, err := Simulate(ok); err != nil {
+		t.Errorf("capped unstable system should simulate, got %v", err)
+	}
+}
+
+// TestSimulateAllocsBounded pins the oracle's allocation behavior: the
+// per-run count must be O(1) — the RNG, the closure environment and
+// amortized heap slab growth — never O(events). The old container/heap
+// implementation boxed one `any` per arrival, which at ~14k events would
+// blow this bound by two orders of magnitude.
+func TestSimulateAllocsBounded(t *testing.T) {
+	cfg := Config{
+		ArrivalRPS: 7, ServiceRPS: 10, Service: ExponentialService(1),
+		Horizon: 2000, Warmup: 100, Seed: 11,
+	}
+	// Warm once so lazy runtime state doesn't count.
+	if _, err := Simulate(cfg); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(5, func() {
+		if _, err := Simulate(cfg); err != nil {
+			t.Error(err)
+		}
+	})
+	// ~14k arrivals per run; O(1) setup allocations only.
+	if allocs > 40 {
+		t.Errorf("Simulate allocated %.0f times per run; want O(1), not O(events)", allocs)
 	}
 }
 

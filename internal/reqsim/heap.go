@@ -1,0 +1,90 @@
+package reqsim
+
+// d4heap is the engine's event heap: a 4-ary min-heap over (key, job id)
+// pairs stored in two parallel slab slices. Why 4-ary: completions
+// dominate the event mix and every completion is a popMin, whose cost is
+// (children compared per level) × (levels). A 4-ary layout halves the tree
+// height of a binary heap for ~2× the per-level compares, but the four
+// child keys sit in one cache line (32 bytes of float64s), so the extra
+// compares are nearly free while the pointer-chasing depth is halved —
+// the standard d-ary trade, tuned for keys the size of a float64.
+//
+// The heap never allocates in steady state: push grows the slabs amortized
+// and reset keeps their capacity. Keys are fair-share completion levels,
+// which are strictly increasing across arrivals in a busy period, so ties
+// are measure-zero; popMin's order then matches any correct min-heap —
+// including the oracle's binary heap — bit for bit.
+type d4heap struct {
+	keys []float64 // fair-share completion level F(a) + S
+	ids  []int32   // dense job id owning the entry
+}
+
+func (h *d4heap) len() int     { return len(h.keys) }
+func (h *d4heap) reset()       { h.keys = h.keys[:0]; h.ids = h.ids[:0] }
+func (h *d4heap) min() float64 { return h.keys[0] }
+func (h *d4heap) grow(n int) {
+	if cap(h.keys) < n {
+		keys := make([]float64, len(h.keys), n)
+		ids := make([]int32, len(h.ids), n)
+		copy(keys, h.keys)
+		copy(ids, h.ids)
+		h.keys, h.ids = keys, ids
+	}
+}
+
+// push inserts (key, id), sifting up.
+func (h *d4heap) push(key float64, id int32) {
+	h.keys = append(h.keys, key)
+	h.ids = append(h.ids, id)
+	keys, ids := h.keys, h.ids
+	i := len(keys) - 1
+	for i > 0 {
+		parent := (i - 1) >> 2
+		if keys[parent] <= key {
+			break
+		}
+		keys[i], ids[i] = keys[parent], ids[parent]
+		i = parent
+	}
+	keys[i], ids[i] = key, id
+}
+
+// popMin removes and returns the minimum entry.
+func (h *d4heap) popMin() (float64, int32) {
+	keys, ids := h.keys, h.ids
+	topKey, topID := keys[0], ids[0]
+	n := len(keys) - 1
+	key, id := keys[n], ids[n]
+	h.keys, h.ids = keys[:n], ids[:n]
+	if n == 0 {
+		return topKey, topID
+	}
+	keys, ids = keys[:n], ids[:n]
+	// Sift the former last element down from the root.
+	i := 0
+	for {
+		first := i<<2 + 1
+		if first >= n {
+			break
+		}
+		// Smallest of up to four children; the four keys share a cache line.
+		m := first
+		mk := keys[first]
+		last := first + 4
+		if last > n {
+			last = n
+		}
+		for c := first + 1; c < last; c++ {
+			if keys[c] < mk {
+				m, mk = c, keys[c]
+			}
+		}
+		if key <= mk {
+			break
+		}
+		keys[i], ids[i] = mk, ids[m]
+		i = m
+	}
+	keys[i], ids[i] = key, id
+	return topKey, topID
+}

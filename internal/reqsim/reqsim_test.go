@@ -1,0 +1,267 @@
+package reqsim
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+// TestMeanJobsMatchesAnalytic reproduces the paper's Eq. (4) across the
+// load grid the acceptance criteria name: the engine's measured mean
+// number in system must sit within tolerance of λ/(x−λ).
+func TestMeanJobsMatchesAnalytic(t *testing.T) {
+	eng := NewEngine()
+	for _, rho := range []float64{0.3, 0.5, 0.7, 0.85} {
+		cfg := Config{
+			ArrivalRPS: rho * 10,
+			ServiceRPS: 10,
+			Service:    ExponentialService(1),
+			Horizon:    60000,
+			Warmup:     3000,
+			Seed:       1,
+		}
+		res, err := eng.Run(cfg, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := AnalyticMeanJobs(cfg.ArrivalRPS, cfg.ServiceRPS)
+		if math.Abs(res.MeanJobs-want) > 0.08*want+0.05 {
+			t.Errorf("ρ=%v: mean jobs %v, analytic %v", rho, res.MeanJobs, want)
+		}
+		if math.Abs(res.UtilFraction-rho) > 0.03 {
+			t.Errorf("ρ=%v: measured utilization %v", rho, res.UtilFraction)
+		}
+	}
+}
+
+// TestHeavyTailInsensitivity: with Pareto requirements (finite mean,
+// infinite variance) the PS *mean* number in system is still the
+// insensitive λ/(x−λ) — convergence is just slow. A generous tolerance on
+// a long run keeps the claim honest without flaking.
+func TestHeavyTailInsensitivity(t *testing.T) {
+	cfg := Config{
+		ArrivalRPS: 5,
+		ServiceRPS: 10,
+		Service:    ParetoService(1, 1.8),
+		Horizon:    120000,
+		Warmup:     6000,
+		Seed:       3,
+	}
+	res, err := Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := AnalyticMeanJobs(cfg.ArrivalRPS, cfg.ServiceRPS)
+	if math.Abs(res.MeanJobs-want) > 0.30*want {
+		t.Errorf("pareto mean jobs %v, analytic %v (insensitivity of the mean)", res.MeanJobs, want)
+	}
+}
+
+// TestBurstyArrivalsBreakAnalytic pins the arm the analytic model is
+// knowably wrong on: MMPP on/off arrivals with the same *mean* rate as a
+// Poisson stream congest the server far beyond λ̄/(x−λ̄), because the PS
+// insensitivity argument requires Poisson arrivals. The engine must
+// measure that divergence, not hide it.
+func TestBurstyArrivalsBreakAnalytic(t *testing.T) {
+	arr := OnOffArrivals(14, 1, 2, 4) // mean rate (14·2+1·4)/6 = 5.33…
+	cfg := Config{
+		Arrivals:   arr,
+		ServiceRPS: 10,
+		Service:    ExponentialService(1),
+		Horizon:    60000,
+		Warmup:     3000,
+		Seed:       2,
+	}
+	res, err := Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	analytic := AnalyticMeanJobs(arr.MeanRate(0), cfg.ServiceRPS)
+	if res.MeanJobs < 1.3*analytic {
+		t.Errorf("bursty mean jobs %v should exceed the Poisson analytic %v by far", res.MeanJobs, analytic)
+	}
+	// The mean arrival rate itself must be honored (jobs conserved).
+	gotRate := float64(res.Arrived) / cfg.Horizon
+	if math.Abs(gotRate-arr.MeanRate(0)) > 0.05*arr.MeanRate(0) {
+		t.Errorf("bursty arrival rate %v, want ≈ %v", gotRate, arr.MeanRate(0))
+	}
+}
+
+// TestJourneyAccounting checks the request-journey invariants:
+// ARRIVED = QUEUED(Admitted) + DROPPED, SCHEDULED == Admitted under PS,
+// and everything admitted either finished or is still in system at the
+// horizon.
+func TestJourneyAccounting(t *testing.T) {
+	cfg := Config{
+		ArrivalRPS: 20, ServiceRPS: 10, Service: ExponentialService(1),
+		Horizon: 5000, Warmup: 100, Seed: 5, MaxJobs: 50,
+	}
+	res, err := Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Arrived != res.Admitted+res.Dropped {
+		t.Errorf("Arrived %d != Admitted %d + Dropped %d", res.Arrived, res.Admitted, res.Dropped)
+	}
+	if res.Scheduled != res.Admitted {
+		t.Errorf("under PS Scheduled %d must equal Admitted %d", res.Scheduled, res.Admitted)
+	}
+	if res.Finished > res.Admitted {
+		t.Errorf("Finished %d exceeds Admitted %d", res.Finished, res.Admitted)
+	}
+	if inFlight := res.Admitted - res.Finished; inFlight < 0 || inFlight > res.MaxInSystem {
+		t.Errorf("in-flight %d outside [0, MaxInSystem %d]", inFlight, res.MaxInSystem)
+	}
+	if res.MaxInSystem > cfg.MaxJobs {
+		t.Errorf("MaxInSystem %d exceeds cap %d", res.MaxInSystem, cfg.MaxJobs)
+	}
+	if res.Events != int64(res.Arrived)+int64(res.Finished) {
+		t.Errorf("Events %d != Arrived %d + Finished %d", res.Events, res.Arrived, res.Finished)
+	}
+	if res.Dropped == 0 {
+		t.Error("overloaded capped run never dropped")
+	}
+}
+
+// TestPercentilesFromTape drives a run with a tape and sanity-checks the
+// exact percentiles (ordering, positivity, agreement with the mean's
+// scale). Bitwise agreement with stats.Quantile is pinned separately by
+// the property test in tape_test.go.
+func TestPercentilesFromTape(t *testing.T) {
+	var tape SampleTape
+	cfg := Config{
+		ArrivalRPS: 7, ServiceRPS: 10, Service: ExponentialService(1),
+		Horizon: 20000, Warmup: 1000, Seed: 4,
+	}
+	res, err := NewEngine().Run(cfg, &tape)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tape.N() != res.Completed {
+		t.Fatalf("tape has %d samples, want Completed %d", tape.N(), res.Completed)
+	}
+	if !(res.P50Sec > 0 && res.P50Sec <= res.P95Sec && res.P95Sec <= res.P99Sec) {
+		t.Errorf("percentile ordering violated: P50 %v P95 %v P99 %v", res.P50Sec, res.P95Sec, res.P99Sec)
+	}
+	if res.P50Sec >= res.MeanRespSec {
+		// Exponential-ish response times are right-skewed: median < mean.
+		t.Errorf("P50 %v should sit below mean %v for a right-skewed response distribution", res.P50Sec, res.MeanRespSec)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	exp := ExponentialService(1)
+	bad := []Config{
+		{ArrivalRPS: -1, ServiceRPS: 1, Service: exp, Horizon: 1},
+		{ArrivalRPS: math.NaN(), ServiceRPS: 1, Service: exp, Horizon: 1},
+		{ArrivalRPS: math.Inf(1), ServiceRPS: 1, Service: exp, Horizon: 1},
+		{ArrivalRPS: 1, ServiceRPS: 0, Service: exp, Horizon: 1},
+		{ArrivalRPS: 1, ServiceRPS: math.NaN(), Service: exp, Horizon: 1},
+		{ArrivalRPS: 1, ServiceRPS: 2, Horizon: 1}, // zero-value sampler
+		{ArrivalRPS: 1, ServiceRPS: 2, Service: exp, Horizon: 0},
+		{ArrivalRPS: 1, ServiceRPS: 2, Service: exp, Horizon: math.Inf(1)},
+		{ArrivalRPS: 1, ServiceRPS: 2, Service: exp, Horizon: 1, Warmup: 1},
+		{ArrivalRPS: 1, ServiceRPS: 2, Service: exp, Horizon: 1, Warmup: math.NaN()},
+		{ArrivalRPS: 1, ServiceRPS: 2, Service: exp, Horizon: 1, MaxJobs: -1},
+		{ArrivalRPS: 2, ServiceRPS: 1, Service: exp, Horizon: 1},                                       // uncapped ρ >= 1
+		{ArrivalRPS: 1, ServiceRPS: 1, Service: exp, Horizon: 1},                                       // uncapped ρ == 1
+		{ArrivalRPS: 1, Arrivals: OnOffArrivals(5, 1, 1, 1), ServiceRPS: 10, Service: exp, Horizon: 1}, // both arrival specs
+		{Arrivals: OnOffArrivals(20, 20, 1, 1), ServiceRPS: 10, Service: exp, Horizon: 1},              // bursty mean ρ >= 1 uncapped
+	}
+	for i, cfg := range bad {
+		if _, err := Simulate(cfg); !errors.Is(err, ErrBadConfig) {
+			t.Errorf("case %d: want ErrBadConfig, got %v", i, err)
+		}
+	}
+	ok := []Config{
+		{ArrivalRPS: 2, ServiceRPS: 1, Service: exp, Horizon: 10, MaxJobs: 5},             // capped loss system
+		{Arrivals: OnOffArrivals(14, 1, 2, 4), ServiceRPS: 10, Service: exp, Horizon: 10}, // stable bursty
+		{ArrivalRPS: 0, ServiceRPS: 10, Service: exp, Horizon: 10},                        // empty system
+	}
+	for i, cfg := range ok {
+		if _, err := Simulate(cfg); err != nil {
+			t.Errorf("ok case %d: unexpected error %v", i, err)
+		}
+	}
+}
+
+// TestRunZeroAllocs is the steady-state allocation contract from the
+// acceptance criteria: a warm engine simulating tens of thousands of
+// requests must not allocate at all — not 0 per event, 0 per *run*.
+func TestRunZeroAllocs(t *testing.T) {
+	eng := NewEngine()
+	var tape SampleTape
+	cfg := Config{
+		ArrivalRPS: 7, ServiceRPS: 10, Service: ExponentialService(1),
+		Horizon: 3000, Warmup: 100, Seed: 8,
+	}
+	// Warm: grow every slab to the run's high-water mark.
+	if _, err := eng.Run(cfg, &tape); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		if _, err := eng.Run(cfg, &tape); err != nil {
+			t.Error(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("warm engine allocated %.0f times per run (~21k events); want 0", allocs)
+	}
+}
+
+func TestServiceSamplerStrings(t *testing.T) {
+	cases := map[string]ServiceSampler{
+		"exp(mean=1)":              ExponentialService(1),
+		"det(mean=2)":              DeterministicService(2),
+		"hyperexp(mean=1,p=0.15)":  HyperexpService(1, 0.15),
+		"pareto(mean=1,alpha=1.5)": ParetoService(1, 1.5),
+	}
+	for want, s := range cases {
+		if got := s.String(); got != want {
+			t.Errorf("String() = %q, want %q", got, want)
+		}
+		if !s.Valid() {
+			t.Errorf("%s reported invalid", want)
+		}
+	}
+	var zero ServiceSampler
+	if zero.Valid() {
+		t.Error("zero sampler must be invalid")
+	}
+	if zero.String() != "invalid" {
+		t.Errorf("zero sampler String() = %q", zero.String())
+	}
+}
+
+func TestParetoSampleMean(t *testing.T) {
+	// The inverse-CDF sampler must hit its configured mean: x_m·α/(α−1).
+	s := ParetoService(1, 1.9)
+	eng := NewEngine()
+	var sum float64
+	const n = 2_000_000
+	for i := 0; i < n; i++ {
+		sum += s.sample(eng.rng)
+	}
+	if got := sum / n; math.Abs(got-1) > 0.05 {
+		t.Errorf("pareto sample mean %v, want ≈ 1", got)
+	}
+}
+
+func TestConstructorPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"pareto-alpha-low":  func() { ParetoService(1, 1) },
+		"pareto-alpha-high": func() { ParetoService(1, 2.5) },
+		"hyperexp-p":        func() { HyperexpService(1, 0) },
+		"onoff-rate":        func() { OnOffArrivals(0, 0, 1, 1) },
+		"onoff-sojourn":     func() { OnOffArrivals(5, 1, 0, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,0 +1,120 @@
+package telemetry
+
+// ReqsimSiteMetrics is one site's slice of ReqsimMetrics: the per-slot
+// request-level replay outcome series. Percentile gauges carry the *exact*
+// streaming percentiles computed by the replay's sample tape; the
+// histogram carries the same response times bucketed for exposition — the
+// two views deliberately coexist (gauges are exact but last-slot-only,
+// the histogram is approximate but cumulative).
+type ReqsimSiteMetrics struct {
+	Requests *Counter // simulated requests replayed for the site
+	Dropped  *Counter // requests rejected by the replay's admission cap
+	P50Sec   *Gauge   // exact median response time, last replayed slot
+	P95Sec   *Gauge   // exact 95th percentile, last replayed slot
+	P99Sec   *Gauge   // exact 99th percentile, last replayed slot
+	QueueLen *Gauge   // measured mean jobs in system, last replayed slot
+	ModelErr *Gauge   // |empirical − analytic|/analytic mean jobs, last slot
+
+	// RespSeconds buckets each replayed slot's percentile triple for
+	// cumulative exposition (the gauges above stay exact but last-slot-only).
+	RespSeconds *Histogram
+}
+
+// ReqsimMetrics instruments request-level slot replays (internal/reqsim):
+// replay counts and request volume at the top level plus a site-labeled
+// breakdown of exact percentiles, queue lengths and analytic-model error.
+// Like the other *Metrics it takes plain values so reqsim imports
+// telemetry, never the reverse. All methods are nil-safe.
+type ReqsimMetrics struct {
+	Replays  *Counter // slots replayed at request granularity
+	Requests *Counter // total simulated requests
+	Events   *Counter // total processed simulation events
+	// ModelErrSum accumulates |empirical − analytic|/analytic across
+	// replays (divide by Replays for the mean relative error).
+	ModelErrSum *Counter
+
+	siteRequests *LabeledCounter
+	siteDropped  *LabeledCounter
+	siteP50      *LabeledGauge
+	siteP95      *LabeledGauge
+	siteP99      *LabeledGauge
+	siteQueue    *LabeledGauge
+	siteModelErr *LabeledGauge
+	siteResp     *LabeledHistogram
+
+	sites map[string]*ReqsimSiteMetrics
+}
+
+// NewReqsimMetrics registers replay instruments under prefix
+// (conventionally "reqsim"). Site series are labeled vectors
+// ("<prefix>.site.p99_sec"{site="…"}, …), interned on first observation.
+func NewReqsimMetrics(r *Registry, prefix string) *ReqsimMetrics {
+	p := prefix + "."
+	return &ReqsimMetrics{
+		Replays:     r.Counter(p + "replays"),
+		Requests:    r.Counter(p + "requests"),
+		Events:      r.Counter(p + "events"),
+		ModelErrSum: r.Counter(p + "model_err_sum"),
+
+		siteRequests: r.LabeledCounter(p+"site.requests", "simulated requests replayed for the site", "site"),
+		siteDropped:  r.LabeledCounter(p+"site.dropped", "requests rejected by the replay admission cap", "site"),
+		siteP50:      r.LabeledGauge(p+"site.p50_sec", "exact median response time of the last replayed slot", "site"),
+		siteP95:      r.LabeledGauge(p+"site.p95_sec", "exact P95 response time of the last replayed slot", "site"),
+		siteP99:      r.LabeledGauge(p+"site.p99_sec", "exact P99 response time of the last replayed slot", "site"),
+		siteQueue:    r.LabeledGauge(p+"site.queue_len", "measured mean jobs in system, last replayed slot", "site"),
+		siteModelErr: r.LabeledGauge(p+"site.model_err", "relative empirical-vs-analytic mean-jobs error, last slot", "site"),
+		siteResp:     r.LabeledHistogram(p+"site.resp_seconds", "response-time distribution across replayed slots", ExpBuckets(1e-3, 2, 18), "site"),
+
+		sites: make(map[string]*ReqsimSiteMetrics),
+	}
+}
+
+// Site returns (interning on first use) the named site's instruments.
+func (m *ReqsimMetrics) Site(name string) *ReqsimSiteMetrics {
+	if m == nil {
+		return nil
+	}
+	if s, ok := m.sites[name]; ok {
+		return s
+	}
+	s := &ReqsimSiteMetrics{
+		Requests:    m.siteRequests.With(name),
+		Dropped:     m.siteDropped.With(name),
+		P50Sec:      m.siteP50.With(name),
+		P95Sec:      m.siteP95.With(name),
+		P99Sec:      m.siteP99.With(name),
+		QueueLen:    m.siteQueue.With(name),
+		ModelErr:    m.siteModelErr.With(name),
+		RespSeconds: m.siteResp.With(name),
+	}
+	m.sites[name] = s
+	return s
+}
+
+// ObserveReplay folds one site's replayed slot into the instruments.
+// modelErr is the relative |empirical − analytic|/analytic mean-jobs
+// error; pass a negative value when no analytic prediction exists (the
+// error series is skipped, everything else recorded).
+func (m *ReqsimMetrics) ObserveReplay(site string, requests, dropped int, events int64,
+	p50, p95, p99, meanJobs, modelErr float64) {
+	if m == nil {
+		return
+	}
+	m.Replays.Inc()
+	m.Requests.Add(float64(requests))
+	m.Events.Add(float64(events))
+	s := m.Site(site)
+	s.Requests.Add(float64(requests))
+	s.Dropped.Add(float64(dropped))
+	s.P50Sec.Set(p50)
+	s.P95Sec.Set(p95)
+	s.P99Sec.Set(p99)
+	s.QueueLen.Set(meanJobs)
+	if modelErr >= 0 {
+		m.ModelErrSum.Add(modelErr)
+		s.ModelErr.Set(modelErr)
+	}
+	s.RespSeconds.Observe(p50)
+	s.RespSeconds.Observe(p95)
+	s.RespSeconds.Observe(p99)
+}
